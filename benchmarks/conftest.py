@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmarks regenerate the paper's tables and figures on a reduced
+configuration (the ``smoke`` scale by default) so that the full suite runs in
+a few minutes.  Set ``REPRO_BENCH_SCALE=fast`` or ``paper`` for larger runs,
+and ``REPRO_BENCH_FAULTS`` to override the number of injected upsets per
+design; the experiment CLIs (``python -m repro.experiments.table3 --scale
+paper``) expose the same knobs outside pytest.
+
+All heavy artefacts (the five implemented filter versions and their
+fault-injection campaigns) are built once per session and shared by every
+benchmark file.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import (DESIGN_ORDER, build_design_suite,
+                               campaign_config_for, implement_design_suite)
+from repro.faults import run_campaign
+
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "smoke")
+BENCH_FAULTS = int(os.environ.get("REPRO_BENCH_FAULTS", "0")) or None
+
+
+@pytest.fixture(scope="session")
+def design_suite():
+    return build_design_suite(BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def implementations(design_suite):
+    return implement_design_suite(design_suite)
+
+
+@pytest.fixture(scope="session")
+def campaigns(design_suite, implementations):
+    config = campaign_config_for(design_suite, num_faults=BENCH_FAULTS)
+    return {name: run_campaign(implementations[name], config)
+            for name in DESIGN_ORDER}

@@ -1,0 +1,65 @@
+"""Explore the voter-partition design space for a custom design.
+
+The paper's conclusion — "there is an optimal logic partition for each
+circuit" — turns voter placement into a design-space exploration problem.
+This example shows the supporting tooling on the FIR filter:
+
+* sweep voter granularities analytically (fast, no fault injection);
+* print the Pareto front of (defeat probability, voter area);
+* confirm the analytical picture with a short fault-injection campaign on
+  the two most interesting candidates.
+
+Run with ``python examples/partition_exploration.py``.
+"""
+
+from repro.core import (EveryKth, NoPartition, TMRConfig, apply_tmr,
+                        pareto_front, sweep_partitions)
+from repro.experiments import build_design_suite, campaign_config_for
+from repro.faults import run_campaign
+from repro.fpga import device_by_name
+from repro.netlist import flatten
+from repro.pnr import implement
+
+
+def main() -> None:
+    suite = build_design_suite("smoke")
+    netlist, source = suite.netlist, suite.source
+
+    print("analytical sweep of voter granularities "
+          "(every k-th component voted):")
+    sweep = sweep_partitions(netlist, source,
+                             strategies=[EveryKth(k) for k in (1, 2, 3, 5)]
+                             + [NoPartition()])
+    for candidate in sweep.candidates:
+        row = candidate.summary_row()
+        print(f"  {row['partition']:10s}: {row['voters']:4d} voters, "
+              f"{row['regions']:3d} regions/domain, "
+              f"defeat probability {row['defeat_probability']:.4f}")
+    print(f"analytical optimum (ignoring voter cost): "
+          f"{sweep.best.strategy.describe()}")
+
+    front = pareto_front(sweep.candidates)
+    print("\nPareto front (defeat probability vs voter area):")
+    for candidate in front:
+        print(f"  {candidate.strategy.describe():10s}: "
+              f"{candidate.voter_area_luts:4d} voter LUTs, "
+              f"p = {candidate.defeat_probability:.4f}")
+
+    print("\nmeasuring the two extreme Pareto points with fault injection:")
+    config = campaign_config_for(suite)
+    device = device_by_name(suite.scale.tmr_device)
+    for candidate in (front[0], front[-1]):
+        name = f"explore_{candidate.strategy.describe().replace(':', '_')}"
+        result = apply_tmr(netlist, source,
+                           TMRConfig(partition=candidate.strategy,
+                                     name_suffix=f"_{name}"))
+        flat = flatten(netlist, result.definition, flat_name=f"{name}_flat")
+        implementation = implement(flat, device, anneal_moves_per_slice=2)
+        campaign = run_campaign(implementation, config)
+        print(f"  {candidate.strategy.describe():10s}: "
+              f"{campaign.wrong_answer_percent:5.2f}% wrong answers "
+              f"({implementation.slice_count} slices)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""TMR for state-machine logic: voters in the feedback path.
+
+Section 2 of the paper distinguishes *Throughput Logic* (the FIR filter)
+from *State-machine Logic* — counters, accumulators, sequencers — where "the
+register cannot be locked in a wrong value, and for this reason there is a
+voter for each redundant logic part in the feedback path, making the system
+able to recover by itself".
+
+This example demonstrates exactly that self-recovery on a counter: a
+flip-flop upset in one domain is corrected at the next clock edge when the
+registers are voted, and persists forever when they are not.
+
+Run with ``python examples/state_machine_tmr.py``.
+"""
+
+from repro.core import NoPartition, TMRConfig, apply_tmr
+from repro.netlist import Netlist, flatten
+from repro.rtl import up_counter
+from repro.sim import CompiledDesign, FaultOverlay, Simulator
+
+
+def run_counter(compiled, overlay=None, cycles=8):
+    stimulus = [{f"R_tr{d}": 0 for d in range(3)}
+                | {f"CE_tr{d}": 1 for d in range(3)}
+                for _ in range(cycles)]
+    simulator = Simulator(compiled, overlay) if overlay else \
+        Simulator(compiled)
+    trace = simulator.run(stimulus, record_nets=True)
+    return trace.output_ints("Q", signed=False), trace
+
+
+def domain_state_agrees(compiled, trace, domain=0, reference_domain=1):
+    """Whether the internal flip-flop state of *domain* matches another
+    domain's at the end of the run (i.e. the corrupted domain re-converged)."""
+    last = trace.ff_states[-1]
+    state = {d: [] for d in (domain, reference_domain)}
+    for flip_flop in compiled.flip_flops:
+        d = flip_flop.instance.properties.get("domain")
+        if d in state:
+            state[d].append(last[flip_flop.index])
+    return state[domain] == state[reference_domain]
+
+
+def corrupt_one_domain(compiled):
+    """Flip the power-up value of one domain-0 state flip-flop."""
+    victim = next(ff for ff in compiled.flip_flops
+                  if ff.instance.properties.get("domain") == 0)
+    return FaultOverlay(description=f"SEU in {victim.name}",
+                        ff_init_overrides={victim.index: 1})
+
+
+def main() -> None:
+    netlist = Netlist("state_machine")
+    counter = up_counter(netlist, width=4)
+    netlist.set_top(counter)
+
+    # Voted registers: the feedback path goes through majority voters.
+    voted = apply_tmr(netlist, counter,
+                      TMRConfig(partition=NoPartition(), vote_registers=True,
+                                name_suffix="_voted"))
+    # Unvoted registers: triplication only (not recommended for feedback).
+    unvoted = apply_tmr(netlist, counter,
+                        TMRConfig(partition=NoPartition(),
+                                  vote_registers=False,
+                                  name_suffix="_unvoted"))
+
+    reference, _ = run_counter(CompiledDesign(
+        flatten(netlist, voted.definition, flat_name="cnt_ref")))
+    print("fault-free count:", reference)
+
+    compiled_voted = CompiledDesign(
+        flatten(netlist, voted.definition, flat_name="cnt_voted"))
+    faulty_voted, voted_trace = run_counter(
+        compiled_voted, corrupt_one_domain(compiled_voted))
+    voted_recovered = domain_state_agrees(compiled_voted, voted_trace)
+    print(f"voted registers, one domain corrupted:    {faulty_voted} "
+          f"(corrupted domain re-converged: {voted_recovered})")
+
+    compiled_unvoted = CompiledDesign(
+        flatten(netlist, unvoted.definition, flat_name="cnt_unvoted"))
+    faulty_unvoted, unvoted_trace = run_counter(
+        compiled_unvoted, corrupt_one_domain(compiled_unvoted))
+    unvoted_recovered = domain_state_agrees(compiled_unvoted, unvoted_trace)
+    print(f"unvoted registers, one domain corrupted:  {faulty_unvoted} "
+          f"(corrupted domain re-converged: {unvoted_recovered})")
+
+    assert faulty_voted == reference, \
+        "voters in the feedback path must make the counter self-recover"
+    assert voted_recovered and not unvoted_recovered
+    print("\nwith voters in the feedback path the corrupted domain reloads "
+          "the majority value and re-converges; without them its state "
+          "diverges forever and a second upset would break the output.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Legacy setup shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so the
+package can also be installed in environments without network access or the
+``wheel`` package (``python setup.py develop`` / ``pip install -e .
+--no-use-pep517 --no-build-isolation``).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=("Reproduction of 'On the Optimal Design of Triple Modular "
+                 "Redundancy Logic for SRAM-based FPGAs' (DATE 2005)"),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "networkx"],
+)

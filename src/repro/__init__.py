@@ -1,0 +1,28 @@
+"""repro — reproduction of "On the Optimal Design of Triple Modular
+Redundancy Logic for SRAM-based FPGAs" (Kastensmidt, Sterpone, Carro,
+Sonza Reorda — DATE 2005).
+
+The package provides, bottom-up:
+
+* :mod:`repro.netlist` — a SpyDrNet-style netlist IR with hierarchy,
+  traversal and flattening;
+* :mod:`repro.cells` — the FPGA primitive cell library (LUTs, flip-flops,
+  I/O) with behavioural models;
+* :mod:`repro.techmap` — gate-to-LUT lowering and LUT packing;
+* :mod:`repro.rtl` — structural generators including the paper's 11-tap FIR
+  filter case study;
+* :mod:`repro.core` — the paper's contribution: TMR insertion with
+  configurable voter partitioning;
+* :mod:`repro.fpga` — an island-style FPGA device model with a
+  frame-addressed configuration memory and bitstream generation;
+* :mod:`repro.pnr` — packing, placement and routing onto the device model;
+* :mod:`repro.sim` — a three-valued levelized simulator;
+* :mod:`repro.faults` — bitstream fault injection, effect classification and
+  campaign management;
+* :mod:`repro.analysis` — resource/robustness reports (paper Tables 2-4);
+* :mod:`repro.experiments` — drivers that regenerate every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

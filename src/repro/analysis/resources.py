@@ -1,0 +1,111 @@
+"""Resource and bitstream-composition reports (the paper's Table 2).
+
+For every implemented design version the report collects the slice count,
+the configuration-bit composition (routing / LUT / CLB flip-flop bits) and
+the estimated performance, which is exactly the comparison the paper uses to
+argue that the medium partition is also efficient in area and speed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..pnr.flow import Implementation
+
+
+@dataclasses.dataclass
+class ResourceRow:
+    """One row of the Table 2 analogue."""
+
+    design: str
+    slices: int
+    luts: int
+    flip_flops: int
+    routing_bits: int
+    lut_bits: int
+    ff_bits: int
+    fmax_mhz: float
+
+    @property
+    def total_bits(self) -> int:
+        return self.routing_bits + self.lut_bits + self.ff_bits
+
+    @property
+    def routing_fraction(self) -> float:
+        total = self.total_bits
+        return self.routing_bits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "design": self.design,
+            "slices": self.slices,
+            "luts": self.luts,
+            "flip_flops": self.flip_flops,
+            "routing_bits": self.routing_bits,
+            "lut_bits": self.lut_bits,
+            "ff_bits": self.ff_bits,
+            "total_bits": self.total_bits,
+            "routing_fraction": round(self.routing_fraction, 3),
+            "fmax_mhz": round(self.fmax_mhz, 1),
+        }
+
+
+def resource_row(name: str, implementation: Implementation) -> ResourceRow:
+    """Extract the Table 2 row of one implementation."""
+    stats = implementation.resources.stats
+    return ResourceRow(
+        design=name,
+        slices=implementation.slice_count,
+        luts=implementation.packing.num_luts,
+        flip_flops=implementation.packing.num_ffs,
+        routing_bits=stats.routing_bits,
+        lut_bits=stats.lut_bits,
+        ff_bits=stats.ff_bits,
+        fmax_mhz=implementation.timing.fmax_mhz,
+    )
+
+
+def resource_table(implementations: Mapping[str, Implementation],
+                   order: Optional[Sequence[str]] = None) -> List[ResourceRow]:
+    """Table 2 analogue for a set of design versions."""
+    names = list(order) if order is not None else list(implementations)
+    return [resource_row(name, implementations[name]) for name in names]
+
+
+def area_overhead(rows: Sequence[ResourceRow],
+                  baseline: str) -> Dict[str, float]:
+    """Slice overhead of every version relative to the unprotected baseline."""
+    by_name = {row.design: row for row in rows}
+    if baseline not in by_name:
+        raise KeyError(f"baseline design {baseline!r} not in the table")
+    base = by_name[baseline].slices or 1
+    return {row.design: row.slices / base for row in rows}
+
+
+def performance_degradation(rows: Sequence[ResourceRow],
+                            baseline: str) -> Dict[str, float]:
+    """Relative Fmax of every version versus the unprotected baseline."""
+    by_name = {row.design: row for row in rows}
+    if baseline not in by_name:
+        raise KeyError(f"baseline design {baseline!r} not in the table")
+    base = by_name[baseline].fmax_mhz or 1.0
+    return {row.design: row.fmax_mhz / base for row in rows}
+
+
+def format_resource_table(rows: Sequence[ResourceRow]) -> str:
+    """Plain-text rendering in the paper's layout."""
+    from ..faults.report import format_table
+
+    table_rows = []
+    for row in rows:
+        table_rows.append([
+            row.design, row.slices, row.routing_bits, row.lut_bits,
+            row.ff_bits, f"{row.routing_fraction * 100:.1f}%",
+            f"{row.fmax_mhz:.0f} MHz",
+        ])
+    return format_table(
+        ["Filter Design", "Area (# slices)", "#routing bits", "#LUTs bits",
+         "#CLB ffs bits", "routing share", "Estimated Performance"],
+        table_rows,
+        "Table 2 — Comparison between TMR partitioned designs")

@@ -1,0 +1,172 @@
+"""Three-valued (0 / 1 / X) logic used throughout simulation.
+
+Values are plain integers: ``ZERO = 0``, ``ONE = 1`` and ``UNKNOWN = 2``.
+Keeping them as small ints keeps the levelized simulator fast and lets fault
+effects (floating inputs, driver conflicts) propagate pessimistically as X.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+ZERO = 0
+ONE = 1
+UNKNOWN = 2
+
+VALUES = (ZERO, ONE, UNKNOWN)
+
+_CHAR = {ZERO: "0", ONE: "1", UNKNOWN: "X"}
+_FROM_CHAR = {"0": ZERO, "1": ONE, "x": UNKNOWN, "X": UNKNOWN}
+
+
+def to_char(value: int) -> str:
+    """Render a logic value as ``0``/``1``/``X``."""
+    return _CHAR[value]
+
+
+def from_char(char: str) -> int:
+    """Parse ``0``/``1``/``x``/``X`` into a logic value."""
+    try:
+        return _FROM_CHAR[char]
+    except KeyError:
+        raise ValueError(f"not a logic value character: {char!r}") from None
+
+
+def is_known(value: int) -> bool:
+    return value is not UNKNOWN and value != UNKNOWN
+
+
+def not_(a: int) -> int:
+    if a == UNKNOWN:
+        return UNKNOWN
+    return ONE - a
+
+
+def and_(a: int, b: int) -> int:
+    if a == ZERO or b == ZERO:
+        return ZERO
+    if a == ONE and b == ONE:
+        return ONE
+    return UNKNOWN
+
+
+def or_(a: int, b: int) -> int:
+    if a == ONE or b == ONE:
+        return ONE
+    if a == ZERO and b == ZERO:
+        return ZERO
+    return UNKNOWN
+
+
+def xor_(a: int, b: int) -> int:
+    if a == UNKNOWN or b == UNKNOWN:
+        return UNKNOWN
+    return a ^ b
+
+
+def mux(select: int, if_zero: int, if_one: int) -> int:
+    """Two-input multiplexer with X-pessimism on the select."""
+    if select == ZERO:
+        return if_zero
+    if select == ONE:
+        return if_one
+    if if_zero == if_one:
+        return if_zero
+    return UNKNOWN
+
+
+def majority(a: int, b: int, c: int) -> int:
+    """Majority of three values; this is the TMR voter function.
+
+    The vote is resolved whenever two inputs agree on a known value, even if
+    the third is unknown — which is exactly why TMR masks a single corrupted
+    domain.
+    """
+    if a == b and a != UNKNOWN:
+        return a
+    if a == c and a != UNKNOWN:
+        return a
+    if b == c and b != UNKNOWN:
+        return b
+    return UNKNOWN
+
+
+def resolve_drivers(values: Sequence[int]) -> int:
+    """Resolve several drivers shorted onto one node.
+
+    No driver yields X (floating); one driver passes through; agreeing
+    drivers keep their value; disagreeing or unknown drivers yield X.  This
+    models the electrical conflict created by a *Bridge*/*Conflict* routing
+    upset pessimistically.
+    """
+    if not values:
+        return UNKNOWN
+    first = values[0]
+    for value in values[1:]:
+        if value != first:
+            return UNKNOWN
+    return first
+
+
+def lut_eval(init: int, inputs: Sequence[int], num_inputs: int) -> int:
+    """Evaluate a LUT with the given INIT bit vector.
+
+    ``init`` is interpreted the Xilinx way: bit ``i`` of INIT is the output
+    when the inputs (I0 = LSB of the address) encode ``i``.  Unknown inputs
+    cause both possible addresses to be explored; if all reachable entries
+    agree the output is still known.
+    """
+    if len(inputs) != num_inputs:
+        raise ValueError(
+            f"LUT{num_inputs} expects {num_inputs} inputs, got {len(inputs)}")
+
+    unknown_positions = [i for i, v in enumerate(inputs) if v == UNKNOWN]
+    if not unknown_positions:
+        address = 0
+        for position, value in enumerate(inputs):
+            address |= (value & 1) << position
+        return (init >> address) & 1
+
+    # Enumerate the possible addresses induced by unknown inputs.  With at
+    # most 4 inputs this enumerates at most 16 entries.
+    base_address = 0
+    for position, value in enumerate(inputs):
+        if value == ONE:
+            base_address |= 1 << position
+    seen = None
+    for combo in range(1 << len(unknown_positions)):
+        address = base_address
+        for bit, position in enumerate(unknown_positions):
+            if (combo >> bit) & 1:
+                address |= 1 << position
+        entry = (init >> address) & 1
+        if seen is None:
+            seen = entry
+        elif seen != entry:
+            return UNKNOWN
+    return seen if seen is not None else UNKNOWN
+
+
+def bits_to_int(bits: Sequence[int]) -> int:
+    """Convert a LSB-first sequence of known logic values to an integer.
+
+    Raises ``ValueError`` if any bit is unknown.
+    """
+    value = 0
+    for position, bit in enumerate(bits):
+        if bit == UNKNOWN:
+            raise ValueError("cannot convert unknown bit to integer")
+        value |= (bit & 1) << position
+    return value
+
+
+def int_to_bits(value: int, width: int) -> List[int]:
+    """Convert an integer to a LSB-first list of logic values."""
+    if value < 0:
+        value &= (1 << width) - 1
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def word_to_string(bits: Sequence[int]) -> str:
+    """Render a bus value MSB-first, e.g. ``01X1``."""
+    return "".join(to_char(b) for b in reversed(list(bits)))

@@ -1,0 +1,35 @@
+"""The paper's contribution: TMR insertion with optimal voter partitioning."""
+
+from .analysis import (DomainIsolationReport, RobustnessEstimate,
+                       VoterRegionReport, check_domain_isolation,
+                       compute_voter_regions, cross_domain_signal_pairs,
+                       domain_of_instance, domain_of_net, estimate_robustness)
+from .optimizer import (CandidateEvaluation, SweepResult, default_candidates,
+                        pareto_front, sweep_partitions)
+from .partition import (AllComponents, ByComponentType, EveryKth,
+                        ExplicitPartition, NoPartition, PartitionStrategy,
+                        combinational_components, component_topological_order,
+                        is_register_component, register_components,
+                        strategy_from_name)
+from .tmr import (DEFAULT_CLOCK_PORTS, DOMAIN_SUFFIXES, NUM_DOMAINS,
+                  TMRConfig, TMRResult, apply_tmr, domain_of)
+from .voters import (DOMAIN_PROPERTY, VOTED_NET_PROPERTY, VOTER_PROPERTY,
+                     build_voted_register, count_voters,
+                     insert_majority_voter, is_voter, majority_vote_values,
+                     voter_instances)
+
+__all__ = [
+    "DomainIsolationReport", "RobustnessEstimate", "VoterRegionReport",
+    "check_domain_isolation", "compute_voter_regions",
+    "cross_domain_signal_pairs", "domain_of_instance", "domain_of_net",
+    "estimate_robustness", "CandidateEvaluation", "SweepResult",
+    "default_candidates", "pareto_front", "sweep_partitions",
+    "AllComponents", "ByComponentType", "EveryKth", "ExplicitPartition",
+    "NoPartition", "PartitionStrategy", "combinational_components",
+    "component_topological_order", "is_register_component",
+    "register_components", "strategy_from_name", "DEFAULT_CLOCK_PORTS",
+    "DOMAIN_SUFFIXES", "NUM_DOMAINS", "TMRConfig", "TMRResult", "apply_tmr",
+    "domain_of", "DOMAIN_PROPERTY", "VOTED_NET_PROPERTY", "VOTER_PROPERTY",
+    "build_voted_register", "count_voters", "insert_majority_voter",
+    "is_voter", "majority_vote_values", "voter_instances",
+]

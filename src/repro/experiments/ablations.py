@@ -1,0 +1,97 @@
+"""Ablation experiments beyond the paper's tables.
+
+Two studies the paper motivates but does not quantify:
+
+* **Partition-granularity sweep** — the optimizer's analytical sweep over
+  voter granularities, reported next to measured campaign numbers for the
+  three canonical partitions.  This is the design-space picture behind the
+  paper's "there is an optimal partition" conclusion.
+* **Floorplanning** — the paper's future-work item: confine each TMR domain
+  to its own column band and measure how much of the remaining vulnerability
+  disappears (at the cost of longer voter nets).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Dict, Optional, Sequence
+
+from ..core import EveryKth, sweep_partitions
+from ..faults import CampaignConfig, CampaignResult, run_campaign
+from ..pnr import Implementation
+from .designs import (DesignSuite, build_design_suite,
+                      implement_design_suite)
+from .table3 import campaign_config_for
+
+
+def partition_sweep(suite: Optional[DesignSuite] = None, scale: str = "fast",
+                    granularities: Sequence[int] = (1, 2, 3, 4, 6),
+                    ) -> Dict[str, object]:
+    """Analytical sweep of voter granularity on the filter."""
+    if suite is None:
+        suite = build_design_suite(scale)
+    strategies = [EveryKth(k) for k in granularities]
+    sweep = sweep_partitions(suite.netlist, suite.source,
+                             strategies=strategies)
+    return {
+        "candidates": sweep.table(),
+        "best": sweep.best.summary_row(),
+    }
+
+
+def floorplan_study(suite: Optional[DesignSuite] = None, scale: str = "smoke",
+                    design: str = "TMR_p3", num_faults: Optional[int] = None,
+                    ) -> Dict[str, object]:
+    """Compare interleaved placement against per-domain floorplanning."""
+    if suite is None:
+        suite = build_design_suite(scale)
+    config = campaign_config_for(suite, num_faults)
+
+    interleaved = implement_design_suite(suite, designs=[design])[design]
+    floorplanned = implement_design_suite(suite, designs=[design],
+                                          floorplan_domains=True)[design]
+
+    result_interleaved = run_campaign(interleaved, config)
+    result_floorplanned = run_campaign(floorplanned, config)
+    return {
+        "design": design,
+        "interleaved": result_interleaved.summary_row(),
+        "floorplanned": result_floorplanned.summary_row(),
+        "floorplanning_helps": result_floorplanned.wrong_answer_percent
+        <= result_interleaved.wrong_answer_percent,
+    }
+
+
+def fault_list_mode_study(implementation: Implementation,
+                          suite: DesignSuite,
+                          num_faults: Optional[int] = None
+                          ) -> Dict[str, object]:
+    """How the fault-list selection mode changes the measured percentages."""
+    out: Dict[str, object] = {}
+    for mode in ("design", "programmed"):
+        config = campaign_config_for(suite, num_faults, fault_list_mode=mode)
+        result = run_campaign(implementation, config)
+        out[mode] = result.summary_row()
+    return out
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="smoke",
+                        choices=("paper", "fast", "smoke"))
+    parser.add_argument("--study", default="sweep",
+                        choices=("sweep", "floorplan"))
+    arguments = parser.parse_args(argv)
+
+    if arguments.study == "sweep":
+        print(json.dumps(partition_sweep(scale=arguments.scale), indent=2,
+                         default=str))
+    else:
+        print(json.dumps(floorplan_study(scale=arguments.scale), indent=2,
+                         default=str))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,184 @@
+"""Experiment driver for the paper's figures.
+
+The figures in the paper are structural schematics rather than data plots;
+their reproducible content is the *structure* of the generated netlists:
+
+* **Figure 1** — the plain TMR scheme: triplicated inputs, three redundant
+  logic domains, an output majority voter, and the two example routing upsets
+  ("a" within one domain is masked, "b" across domains may defeat the TMR).
+* **Figure 2** — the TMR register with voters and refresh.
+* **Figure 3** — the partitioned TMR scheme in which upset "b" is blocked by
+  a voter barrier.
+* **Figure 4** — the three partitioned filter architectures (p1/p2/p3).
+
+``run_figures`` verifies each of those structural properties on generated
+netlists and returns a machine-checkable summary; the ASCII renderings give a
+quick visual of the partition structure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Dict, List, Optional, Sequence
+
+from ..cells import logic
+from ..core import (NUM_DOMAINS, build_voted_register, check_domain_isolation,
+                    compute_voter_regions, voter_instances)
+from ..netlist import Netlist, flatten
+from ..sim import CompiledDesign, Simulator
+from .designs import DesignSuite, build_design_suite, tmr_configs
+
+
+def figure1_summary(suite: DesignSuite) -> Dict[str, object]:
+    """Structural facts of the plain TMR scheme (minimum partition)."""
+    result = suite.tmr["TMR_p3"]
+    definition = result.definition
+    isolation = check_domain_isolation(definition)
+    input_ports = [name for name in definition.ports
+                   if definition.ports[name].direction.value == "input"]
+    triplicated_inputs = all(
+        any(name.endswith(f"_tr{domain}") for name in input_ports)
+        for domain in range(NUM_DOMAINS))
+    return {
+        "domains": NUM_DOMAINS,
+        "inputs_triplicated": triplicated_inputs,
+        "single_voted_output": "DOUT" in definition.ports,
+        "domains_isolated_outside_voters": isolation.ok,
+        "output_voters": result.voters_by_role.get("output", 0),
+    }
+
+
+def figure2_summary() -> Dict[str, object]:
+    """Structural and behavioural facts of the voted register macro."""
+    netlist = Netlist("figure2")
+    width = 4
+    macro = build_voted_register(netlist, width)
+    netlist.set_top(macro)
+    flat = flatten(netlist, macro)
+    compiled = CompiledDesign(flat)
+
+    # Behavioural check: a corrupted flip-flop in one domain is out-voted.
+    stimulus = [{f"D_tr{d}": 5 for d in range(3)} for _ in range(3)]
+    trace = Simulator(compiled).run(stimulus)
+    voted_outputs = {f"Q_tr{d}": trace.outputs[-1][f"Q_tr{d}"]
+                     for d in range(3)}
+    all_equal = len({tuple(bits) for bits in voted_outputs.values()}) == 1
+
+    return {
+        "flip_flops": sum(1 for i in macro.instances.values()
+                          if i.reference.name == "FD"),
+        "voters": len(voter_instances(macro)),
+        "voters_per_bit_per_domain": len(voter_instances(macro)) // width
+        // NUM_DOMAINS == 1,
+        "clocks_triplicated": all(f"C_tr{d}" in macro.ports
+                                  for d in range(3)),
+        "domain_outputs_agree": all_equal,
+    }
+
+
+def figure3_summary(suite: DesignSuite) -> Dict[str, object]:
+    """The partition property: voter barriers split each domain into regions."""
+    summary = {}
+    for name in ("TMR_p1", "TMR_p2", "TMR_p3"):
+        result = suite.tmr[name]
+        regions = compute_voter_regions(result.definition)
+        summary[name] = {
+            "voters": result.voter_count,
+            "regions_per_domain": regions.num_regions,
+            "same_region_collision_probability": round(
+                regions.same_region_collision_probability(), 4),
+        }
+    ordered = [summary[n]["regions_per_domain"]
+               for n in ("TMR_p3", "TMR_p2", "TMR_p1")]
+    summary["regions_increase_with_partitioning"] = \
+        ordered[0] <= ordered[1] <= ordered[2]
+    return summary
+
+
+def figure4_summary(suite: DesignSuite) -> Dict[str, object]:
+    """The three filter architectures: what gets voted in each version."""
+    components = suite.components
+    summary: Dict[str, object] = {}
+    for name, result in suite.tmr.items():
+        voted_blocks = sorted({net.rsplit("[", 1)[0]
+                               for net in result.voted_nets})
+        summary[name] = {
+            "voter_luts": result.voter_count,
+            "voted_nets": len(result.voted_nets),
+            "voted_blocks": len(voted_blocks),
+            "voters_by_role": dict(result.voters_by_role),
+        }
+    summary["component_inventory"] = {
+        "multipliers": len(components.multipliers),
+        "adders": len(components.adders),
+        "registers": len(components.registers),
+    }
+    return summary
+
+
+def ascii_partition_diagram(suite: DesignSuite, name: str) -> str:
+    """A small ASCII rendering of one filter version's voter placement."""
+    result = suite.tmr.get(name)
+    if result is None:
+        return f"{name}: unprotected (no voters)"
+    voted_blocks = {net.rsplit("[", 1)[0].split("_voted")[0]
+                    for net in result.voted_nets}
+    lanes = []
+    for tap, mult in enumerate(suite.components.multipliers):
+        cell = "[x]"
+        if any(mult in block or f"p{tap}" in block for block in voted_blocks):
+            cell += "V"
+        lanes.append(cell)
+    chain = []
+    for index, adder in enumerate(suite.components.adders, start=1):
+        cell = "(+)"
+        if any(f"s{index}" in block or "DOUT" in block
+               for block in voted_blocks) or result.voters_by_role.get(
+                   "barrier", 0) and adder in " ".join(voted_blocks):
+            cell += "V"
+        chain.append(cell)
+    registers = "".join(
+        "[R]" + ("V" if result.config.vote_registers else "")
+        for _ in suite.components.registers)
+    return (f"{name}: taps {' '.join(lanes)}\n"
+            f"{' ' * len(name)}  sum  {' '.join(chain)} -> output voter\n"
+            f"{' ' * len(name)}  delay line {registers}")
+
+
+def run_figures(suite: Optional[DesignSuite] = None, scale: str = "fast"
+                ) -> Dict[str, object]:
+    if suite is None:
+        suite = build_design_suite(scale)
+    return {
+        "figure1": figure1_summary(suite),
+        "figure2": figure2_summary(),
+        "figure3": figure3_summary(suite),
+        "figure4": figure4_summary(suite),
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="fast",
+                        choices=("paper", "fast", "smoke"))
+    parser.add_argument("--json", action="store_true")
+    arguments = parser.parse_args(argv)
+
+    suite = build_design_suite(arguments.scale)
+    summary = run_figures(suite)
+    if arguments.json:
+        print(json.dumps(summary, indent=2, default=str))
+    else:
+        for figure, data in summary.items():
+            print(f"== {figure} ==")
+            print(json.dumps(data, indent=2, default=str))
+        print("\n== Figure 4 structure ==")
+        for name in suite.tmr:
+            print(ascii_partition_diagram(suite, name))
+            print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,85 @@
+"""Experiment driver for Table 2: area, bitstream composition, performance.
+
+Running ``python -m repro.experiments.table2 --scale fast`` builds the five
+filter versions, implements each on its device profile and prints the
+Table 2 analogue next to the paper's reference numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Dict, Optional, Sequence
+
+from ..analysis import (area_overhead, format_resource_table,
+                        performance_degradation, resource_table)
+from ..pnr import Implementation
+from .designs import (DESIGN_ORDER, PAPER_TABLE2_FMAX, PAPER_TABLE2_SLICES,
+                      DesignSuite, build_design_suite, implement_design_suite)
+
+
+def run_table2(suite: Optional[DesignSuite] = None,
+               implementations: Optional[Dict[str, Implementation]] = None,
+               scale: str = "fast") -> Dict[str, Dict[str, object]]:
+    """Compute the Table 2 analogue; returns one dict per design."""
+    if suite is None:
+        suite = build_design_suite(scale)
+    if implementations is None:
+        implementations = implement_design_suite(suite)
+    rows = resource_table(implementations, order=DESIGN_ORDER)
+    overhead = area_overhead(rows, "standard")
+    slowdown = performance_degradation(rows, "standard")
+    result: Dict[str, Dict[str, object]] = {}
+    for row in rows:
+        entry = row.as_dict()
+        entry["area_overhead_vs_standard"] = round(overhead[row.design], 2)
+        entry["relative_fmax_vs_standard"] = round(slowdown[row.design], 2)
+        entry["paper_slices"] = PAPER_TABLE2_SLICES.get(row.design)
+        entry["paper_fmax_mhz"] = PAPER_TABLE2_FMAX.get(row.design)
+        result[row.design] = entry
+    return result
+
+
+def format_report(table: Dict[str, Dict[str, object]]) -> str:
+    from ..faults.report import format_table
+
+    rows = []
+    for name in DESIGN_ORDER:
+        if name not in table:
+            continue
+        entry = table[name]
+        rows.append([
+            name, entry["slices"], entry["routing_bits"], entry["lut_bits"],
+            entry["ff_bits"], f"{entry['routing_fraction'] * 100:.1f}%",
+            f"{entry['fmax_mhz']:.0f}",
+            f"x{entry['area_overhead_vs_standard']:.2f}",
+            entry["paper_slices"] if entry["paper_slices"] else "-",
+            f"{entry['paper_fmax_mhz']:.0f}" if entry["paper_fmax_mhz"]
+            else "-",
+        ])
+    return format_table(
+        ["Design", "Slices", "Routing bits", "LUT bits", "FF bits",
+         "Routing share", "Fmax (MHz)", "Area vs std",
+         "Paper slices", "Paper Fmax"],
+        rows, "Table 2 — resources and performance (measured vs paper)")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="fast",
+                        choices=("paper", "fast", "smoke"),
+                        help="experiment scale (default: fast)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON instead of a table")
+    arguments = parser.parse_args(argv)
+
+    table = run_table2(scale=arguments.scale)
+    if arguments.json:
+        print(json.dumps(table, indent=2))
+    else:
+        print(format_report(table))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

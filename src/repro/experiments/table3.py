@@ -1,0 +1,111 @@
+"""Experiment driver for Table 3: fault-injection campaign results.
+
+``python -m repro.experiments.table3 --scale fast`` implements the five
+filter versions, runs one bitstream fault-injection campaign per version and
+prints the wrong-answer percentages next to the paper's, together with the
+headline improvement factor of the medium partition over plain TMR.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Dict, Optional, Sequence
+
+from ..analysis import best_partition, improvement_factor
+from ..faults import CampaignConfig, CampaignResult, run_campaign, \
+    table3_report
+from ..pnr import Implementation
+from .designs import (DESIGN_ORDER, PAPER_TABLE3_PERCENT, DesignSuite,
+                      build_design_suite, implement_design_suite)
+
+
+def campaign_config_for(suite: DesignSuite,
+                        num_faults: Optional[int] = None,
+                        fault_list_mode: str = "design",
+                        seed: int = 2005) -> CampaignConfig:
+    return CampaignConfig(
+        num_faults=num_faults if num_faults is not None
+        else suite.scale.campaign_faults,
+        workload_cycles=suite.scale.workload_cycles,
+        fault_list_mode=fault_list_mode,
+        seed=seed,
+    )
+
+
+def run_table3(suite: Optional[DesignSuite] = None,
+               implementations: Optional[Dict[str, Implementation]] = None,
+               scale: str = "fast", num_faults: Optional[int] = None,
+               fault_list_mode: str = "design",
+               progress: bool = False) -> Dict[str, CampaignResult]:
+    """Run the Table 3 campaigns and return one result per design."""
+    if suite is None:
+        suite = build_design_suite(scale)
+    if implementations is None:
+        implementations = implement_design_suite(suite)
+    config = campaign_config_for(suite, num_faults, fault_list_mode)
+
+    results: Dict[str, CampaignResult] = {}
+    for name in DESIGN_ORDER:
+        if name not in implementations:
+            continue
+        callback = None
+        if progress:
+            callback = lambda done, total, design=name: print(
+                f"  {design}: {done}/{total} faults", flush=True)
+        results[name] = run_campaign(implementations[name], config,
+                                     progress=callback)
+    return results
+
+
+def summarize(results: Dict[str, CampaignResult]) -> Dict[str, object]:
+    """Headline quantities derived from the campaigns."""
+    summary: Dict[str, object] = {
+        name: result.summary_row() for name, result in results.items()}
+    tmr_versions = [n for n in ("TMR_p1", "TMR_p2", "TMR_p3", "TMR_p3_nv")
+                    if n in results]
+    if "TMR_p1" in results and "TMR_p2" in results:
+        summary["improvement_p1_to_p2"] = round(
+            improvement_factor(results, "TMR_p1", "TMR_p2"), 2)
+    if tmr_versions:
+        summary["best_tmr_partition"] = best_partition(results, tmr_versions)
+    return summary
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="fast",
+                        choices=("paper", "fast", "smoke"))
+    parser.add_argument("--faults", type=int, default=None,
+                        help="faults to inject per design (default: scale "
+                             "dependent)")
+    parser.add_argument("--fault-list", default="design",
+                        choices=("design", "extended", "programmed"),
+                        help="fault-list selection mode")
+    parser.add_argument("--json", action="store_true")
+    arguments = parser.parse_args(argv)
+
+    results = run_table3(scale=arguments.scale, num_faults=arguments.faults,
+                         fault_list_mode=arguments.fault_list, progress=True)
+    if arguments.json:
+        payload = {name: result.summary_row()
+                   for name, result in results.items()}
+        payload["derived"] = summarize(results)
+        print(json.dumps(payload, indent=2, default=str))
+    else:
+        print(table3_report(results, order=[n for n in DESIGN_ORDER
+                                            if n in results],
+                            paper_reference=PAPER_TABLE3_PERCENT))
+        derived = summarize(results)
+        if "improvement_p1_to_p2" in derived:
+            print(f"\nImprovement TMR_p1 -> TMR_p2: "
+                  f"{derived['improvement_p1_to_p2']}x "
+                  f"(paper: ~4.1x)")
+        if "best_tmr_partition" in derived:
+            print(f"Best TMR partition: {derived['best_tmr_partition']} "
+                  f"(paper: TMR_p2)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

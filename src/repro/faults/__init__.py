@@ -1,0 +1,18 @@
+"""Bitstream fault injection: fault lists, models, injection and campaigns."""
+
+from . import categories
+from .campaign import (CampaignConfig, CampaignResult, CategoryCount,
+                       default_stimulus, run_campaign, run_campaigns)
+from .fault_list import FAULT_LIST_MODES, FaultList, FaultListManager
+from .injector import FaultInjectionManager, FaultResult
+from .models import FaultEffect, FaultModeler
+from .report import (campaign_details, format_table, table3_report,
+                     table4_report)
+
+__all__ = [
+    "categories", "CampaignConfig", "CampaignResult", "CategoryCount",
+    "default_stimulus", "run_campaign", "run_campaigns", "FAULT_LIST_MODES",
+    "FaultList", "FaultListManager", "FaultInjectionManager", "FaultResult",
+    "FaultEffect", "FaultModeler", "campaign_details", "format_table",
+    "table3_report", "table4_report",
+]

@@ -1,0 +1,176 @@
+"""Fault-injection campaigns: the experiment of the paper's Tables 3 and 4.
+
+A campaign takes one implemented design, builds its fault list, samples a
+configurable number of bits, injects them one at a time and aggregates the
+results: the fraction of upsets producing wrong answers (Table 3) and the
+breakdown of error-causing upsets by effect category (Table 4).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..pnr.flow import Implementation
+from ..sim.compile import CompiledDesign
+from ..sim.vectors import campaign_workload, stimulus_from_samples, \
+    tmr_stimulus_from_samples
+from . import categories
+from .fault_list import FaultList, FaultListManager
+from .injector import FaultInjectionManager, FaultResult
+
+
+@dataclasses.dataclass
+class CampaignConfig:
+    """Parameters of one fault-injection campaign."""
+
+    #: number of upsets to inject (the paper injects ~10% of the relevant
+    #: bits; ``None`` means "sample_fraction of the fault list")
+    num_faults: Optional[int] = None
+    #: fraction of the fault list to sample when ``num_faults`` is None
+    sample_fraction: float = 0.10
+    #: random seed for fault sampling (publication year by default)
+    seed: int = 2005
+    #: workload length in clock cycles
+    workload_cycles: int = 12
+    #: workload seed (same stream for every design of an experiment)
+    workload_seed: int = 2005
+    #: fault list selection mode (see :mod:`repro.faults.fault_list`)
+    fault_list_mode: str = "design"
+    #: cycles ignored at the start of the comparison
+    skip_cycles: int = 0
+
+
+@dataclasses.dataclass
+class CategoryCount:
+    """Occurrences of one effect category within a campaign."""
+
+    injected: int = 0
+    wrong: int = 0
+
+
+@dataclasses.dataclass
+class CampaignResult:
+    """Aggregated outcome of one campaign (one row of Table 3)."""
+
+    design: str
+    mode: str
+    fault_list_size: int
+    injected: int
+    wrong_answers: int
+    results: List[FaultResult]
+    by_category: Dict[str, CategoryCount]
+    duration_seconds: float
+
+    @property
+    def wrong_answer_percent(self) -> float:
+        if not self.injected:
+            return 0.0
+        return 100.0 * self.wrong_answers / self.injected
+
+    def effect_table(self) -> Dict[str, int]:
+        """Error-causing upsets per category (one column of Table 4)."""
+        return {category: count.wrong
+                for category, count in self.by_category.items()}
+
+    def summary_row(self) -> Dict[str, object]:
+        return {
+            "design": self.design,
+            "injected": self.injected,
+            "wrong": self.wrong_answers,
+            "wrong_percent": round(self.wrong_answer_percent, 2),
+        }
+
+
+def default_stimulus(implementation: Implementation,
+                     config: CampaignConfig) -> List[Dict[str, int]]:
+    """Build the campaign workload for a design.
+
+    TMR designs expose triplicated data inputs (``DIN_tr0`` ...); the same
+    sample stream is applied to all three copies, as the three domains share
+    the external signal in the paper's setup.
+    """
+    ports = implementation.design.ports
+    data_ports = [name for name in ports
+                  if ports[name].direction.value == "input"
+                  and not name.upper().startswith("CLK")]
+    tmr_style = any(name.endswith("_tr0") for name in data_ports)
+    base_port = None
+    for name in data_ports:
+        if name.endswith("_tr0"):
+            base_port = name[:-4]
+            width = ports[name].width
+            break
+        base_port = name
+        width = ports[name].width
+    if base_port is None:
+        return [{} for _ in range(config.workload_cycles)]
+    samples = campaign_workload(width, config.workload_cycles,
+                                config.workload_seed)
+    if tmr_style:
+        return tmr_stimulus_from_samples(samples, base_port)
+    return stimulus_from_samples(samples, base_port)
+
+
+def run_campaign(implementation: Implementation,
+                 config: Optional[CampaignConfig] = None,
+                 compiled: Optional[CompiledDesign] = None,
+                 stimulus: Optional[Sequence[Dict[str, int]]] = None,
+                 fault_bits: Optional[Sequence[int]] = None,
+                 progress: Optional[callable] = None) -> CampaignResult:
+    """Run one fault-injection campaign on an implemented design."""
+    config = config if config is not None else CampaignConfig()
+    compiled = compiled if compiled is not None \
+        else CompiledDesign(implementation.design)
+    stimulus = list(stimulus) if stimulus is not None \
+        else default_stimulus(implementation, config)
+
+    start = time.time()
+    manager = FaultListManager(implementation)
+    fault_list = manager.build(config.fault_list_mode)
+    if fault_bits is None:
+        count = config.num_faults if config.num_faults is not None else \
+            max(1, int(len(fault_list) * config.sample_fraction))
+        fault_bits = fault_list.sample(count, config.seed)
+
+    injector = FaultInjectionManager(implementation, compiled, stimulus,
+                                     skip_cycles=config.skip_cycles)
+
+    results: List[FaultResult] = []
+    by_category: Dict[str, CategoryCount] = {
+        category: CategoryCount() for category in categories.TABLE4_ORDER}
+    wrong_answers = 0
+    for index, bit in enumerate(fault_bits):
+        result = injector.inject(bit)
+        results.append(result)
+        bucket = by_category.setdefault(result.category, CategoryCount())
+        bucket.injected += 1
+        if result.wrong_answer:
+            bucket.wrong += 1
+            wrong_answers += 1
+        if progress is not None and (index + 1) % 250 == 0:
+            progress(index + 1, len(fault_bits))
+
+    return CampaignResult(
+        design=implementation.design.name,
+        mode=config.fault_list_mode,
+        fault_list_size=len(fault_list),
+        injected=len(results),
+        wrong_answers=wrong_answers,
+        results=results,
+        by_category=by_category,
+        duration_seconds=time.time() - start,
+    )
+
+
+def run_campaigns(implementations: Dict[str, Implementation],
+                  config: Optional[CampaignConfig] = None,
+                  progress: Optional[callable] = None
+                  ) -> Dict[str, CampaignResult]:
+    """Run the same campaign over several designs (the five filter versions)."""
+    results: Dict[str, CampaignResult] = {}
+    for name, implementation in implementations.items():
+        results[name] = run_campaign(implementation, config,
+                                     progress=progress)
+    return results

@@ -1,0 +1,40 @@
+"""Upset-effect taxonomy (the rows of the paper's Table 4).
+
+The paper classifies the configuration upsets that produced wrong answers
+into effects on the CLB logic (LUT, MUX, Initialization) and effects on the
+general routing (Open, Bridge, Input-Antenna, Conflict, Others).  The same
+labels are used here; the operational definitions — how a flipped bit of our
+fabric model maps onto each label — are documented with the fault models in
+:mod:`repro.faults.models`.
+"""
+
+from __future__ import annotations
+
+#: Upset in a used LUT truth-table bit.
+LUT = "LUT"
+#: Upset in an intra-CLB multiplexer configuration bit (FF data source,
+#: clock-enable source, clock inversion).
+MUX = "MUX"
+#: Upset in a flip-flop initialization / set-reset-value bit.
+INITIALIZATION = "Initialization"
+#: A used programmable interconnect point turned off: the downstream sinks
+#: float.
+OPEN = "Open"
+#: A new PIP onto a used input multiplexer (or a used signal bridged to an
+#: undriven wire): the sink sees the blend of two signals.
+BRIDGE = "Bridge"
+#: A new PIP connecting a used (driven) signal to an unused input node.
+INPUT_ANTENNA = "Input-Antenna"
+#: A new PIP shorting two driven wires: both nets fight and blend.
+CONFLICT = "Conflict"
+#: Everything else (bits of unused resources, effects with no mapping).
+OTHERS = "Others"
+
+#: Canonical row order used in reports (matches Table 4 of the paper).
+TABLE4_ORDER = (LUT, MUX, INITIALIZATION, OPEN, BRIDGE, INPUT_ANTENNA,
+                CONFLICT, OTHERS)
+
+#: Categories that originate in the CLB (logic) configuration.
+CLB_CATEGORIES = (LUT, MUX, INITIALIZATION)
+#: Categories that originate in the general routing.
+ROUTING_CATEGORIES = (OPEN, BRIDGE, INPUT_ANTENNA, CONFLICT, OTHERS)

@@ -1,0 +1,141 @@
+"""Fault List Manager.
+
+The paper's fault-injection system first identifies "the configuration
+memory bits that are actually programmed to implement the DUT and generates
+the bit-flips only for them", using a database of the programmed resources
+obtained by decoding the bitstream.  This module plays the same role: it
+enumerates the configuration bits *related to the implemented design* and
+draws a reproducible random sample from them.
+
+Three selection modes are provided:
+
+* ``design`` (default) — every bit of every resource serving the design:
+  the 16 truth-table bits of each used LUT, the configuration bits of each
+  used flip-flop/slice, and every candidate PIP bit of every routing node the
+  design occupies (so both the programmed PIPs and the unprogrammed
+  candidates of used multiplexers are injectable, which is what makes
+  Bridge/Conflict/Antenna effects reachable).
+* ``extended`` — ``design`` plus the candidate PIPs of the *unused* input
+  pins of used slices (stray-antenna territory).
+* ``programmed`` — only bits currently set to one in the bitstream (pure
+  Open/LUT upsets; matches the narrowest reading of the paper's selection).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..fpga.config import LUT_BITS, lut_bit, pip_resource, slice_cfg
+from ..fpga.device import LUT_SLOTS, SLICE_INPUT_PINS
+from ..fpga.routing import Node, Pip, ipin, pips_into_tile
+from ..pnr.flow import Implementation
+
+FAULT_LIST_MODES = ("design", "extended", "programmed")
+
+
+@dataclasses.dataclass
+class FaultList:
+    """An ordered list of injectable configuration bits."""
+
+    mode: str
+    bits: List[int]
+    #: composition of the list by resource kind
+    composition: Dict[str, int]
+
+    def __len__(self) -> int:
+        return len(self.bits)
+
+    def sample(self, count: int, seed: int = 2005) -> List[int]:
+        """Reproducible random sample without replacement (the paper samples
+        roughly 10% of the relevant bits)."""
+        if count >= len(self.bits):
+            return list(self.bits)
+        generator = random.Random(seed)
+        return generator.sample(self.bits, count)
+
+
+class FaultListManager:
+    """Builds fault lists for an implemented design."""
+
+    def __init__(self, implementation: Implementation) -> None:
+        self.implementation = implementation
+        self.layout = implementation.layout
+        self.device = implementation.device
+        self._tile_pips_cache: Dict[Tuple[int, int], List[Pip]] = {}
+
+    # --------------------------------------------------------------
+    def _tile_pips(self, tile: Tuple[int, int]) -> List[Pip]:
+        if tile not in self._tile_pips_cache:
+            self._tile_pips_cache[tile] = pips_into_tile(self.device, *tile)
+        return self._tile_pips_cache[tile]
+
+    def _pips_into_node(self, node: Node) -> List[Pip]:
+        from ..fpga.routing import node_tile
+
+        tile = node_tile(self.device, node)
+        return [pip for pip in self._tile_pips(tile) if pip[1] == node]
+
+    # --------------------------------------------------------------
+    def build(self, mode: str = "design") -> FaultList:
+        if mode not in FAULT_LIST_MODES:
+            raise ValueError(f"unknown fault list mode {mode!r}; choose from "
+                             f"{FAULT_LIST_MODES}")
+        if mode == "programmed":
+            bits = self.implementation.bitstream.programmed_bits()
+            return FaultList(mode, bits, {"programmed": len(bits)})
+
+        resources = self.implementation.resources
+        bits: List[int] = []
+        composition: Dict[str, int] = {"lut": 0, "ff": 0, "routing": 0,
+                                       "routing_unused_inputs": 0}
+
+        for site in resources.lut_sites:
+            for table_bit in range(LUT_BITS):
+                bits.append(self.layout.bit_of(
+                    lut_bit(site.x, site.y, site.slot, table_bit)))
+                composition["lut"] += 1
+
+        seen_slices: Set[Tuple[int, int]] = set()
+        for site in resources.ff_sites:
+            suffix = "X" if site.slot == "FFX" else "Y"
+            for name in (f"FF{suffix}_INIT", f"FF{suffix}_DMUX",
+                         f"FF{suffix}_CEMUX", f"FF{suffix}_SRMODE"):
+                bits.append(self.layout.bit_of(slice_cfg(site.x, site.y,
+                                                         name)))
+                composition["ff"] += 1
+        for (x, y) in resources.used_slices:
+            if (x, y) in seen_slices:
+                continue
+            seen_slices.add((x, y))
+            bits.append(self.layout.bit_of(slice_cfg(x, y, "CLKINV")))
+            composition["ff"] += 1
+
+        used_destinations = [node for node in resources.used_nodes
+                             if node[0] in ("wire", "ipin", "pad_i")]
+        seen_bits: Set[int] = set(bits)
+        for node in used_destinations:
+            for pip in self._pips_into_node(node):
+                bit = self.layout.bit_of(pip_resource(pip))
+                if bit not in seen_bits:
+                    seen_bits.add(bit)
+                    bits.append(bit)
+                    composition["routing"] += 1
+
+        if mode == "extended":
+            used_input_nodes = {node for node in resources.used_nodes
+                                if node[0] == "ipin"}
+            for (x, y) in resources.used_slices:
+                for pin in SLICE_INPUT_PINS:
+                    node = ipin(x, y, pin)
+                    if node in used_input_nodes:
+                        continue
+                    for pip in self._pips_into_node(node):
+                        bit = self.layout.bit_of(pip_resource(pip))
+                        if bit not in seen_bits:
+                            seen_bits.add(bit)
+                            bits.append(bit)
+                            composition["routing_unused_inputs"] += 1
+
+        return FaultList(mode, bits, composition)

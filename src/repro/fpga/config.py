@@ -1,0 +1,247 @@
+"""Configuration-memory model: bit addressing, frames and decode database.
+
+Every programmable resource of the device owns one or more configuration
+bits.  The layout assigns each tile a contiguous bit region containing, in
+order: the two LUT truth tables (16 bits each), the slice customization bits
+and one bit per PIP owned by the tile.  Global bit addresses are grouped into
+fixed-size *frames* purely for reporting, mirroring the frame-organized
+configuration memory of the Spartan-IIE (2,501 frames of 576 bits on the
+XC2S200E).
+
+The :class:`ConfigLayout` is bidirectional — ``bit_of(resource)`` and
+``resource_of(bit)`` — which is exactly the "database of the programmed
+resources obtained by decoding the Xilinx bitstream" that the paper's fault
+list manager relies on; here we own the format, so the database is computed
+rather than reverse-engineered.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .device import DIRECTIONS as DIRECTIONS_DELTA
+from .device import LUT_SLOTS, Device
+from .routing import Pip, count_tile_pips, pips_into_tile
+
+#: Truth-table bits per LUT.
+LUT_BITS = 16
+#: Slice customization bits, in layout order.  INIT bits give the flip-flop
+#: power-up value ("Initialization" upsets in Table 4); the others control
+#: intra-CLB multiplexers ("MUX" upsets).
+SLICE_CFG_BITS = (
+    "FFX_INIT", "FFY_INIT",        # flip-flop power-up / reset value
+    "FFX_DMUX", "FFY_DMUX",        # FF data from paired LUT vs BX/BY bypass
+    "FFX_CEMUX", "FFY_CEMUX",      # clock-enable used vs tied active
+    "FFX_SRMODE", "FFY_SRMODE",    # sync reset vs set behaviour
+    "CLKINV",                      # clock polarity for the slice
+)
+#: Logic (non-routing) bits per tile.
+TILE_LOGIC_BITS = 2 * LUT_BITS + len(SLICE_CFG_BITS)
+
+#: Resource kinds appearing in the decode database.
+KIND_LUT_BIT = "lut_bit"
+KIND_SLICE_CFG = "slice_cfg"
+KIND_PIP = "pip"
+
+Resource = Tuple
+
+
+def lut_bit(x: int, y: int, slot: str, bit: int) -> Resource:
+    return (KIND_LUT_BIT, x, y, slot, bit)
+
+
+def slice_cfg(x: int, y: int, name: str) -> Resource:
+    return (KIND_SLICE_CFG, x, y, name)
+
+
+def pip_resource(pip: Pip) -> Resource:
+    return (KIND_PIP, pip[0], pip[1])
+
+
+class ConfigLayout:
+    """Deterministic mapping between configuration bits and resources."""
+
+    def __init__(self, device: Device) -> None:
+        self.device = device
+        self._tile_base: Dict[Tuple[int, int], int] = {}
+        self._tile_order: List[Tuple[int, int]] = []
+        self._tile_starts: List[int] = []
+        self._pip_count_cache: Dict[Tuple, int] = {}
+        self._tile_pip_cache: Dict[Tuple[int, int], List[Pip]] = {}
+        self._tile_pip_index_cache: Dict[Tuple[int, int], Dict[Pip, int]] = {}
+        self.total_bits = self._assign_tiles()
+
+    # ------------------------------------------------------------------
+    def _tile_class(self, x: int, y: int) -> Tuple:
+        """Tiles with the same border situation have identical PIP counts."""
+        device = self.device
+        outgoing = tuple(sorted(
+            direction for direction in ("N", "S", "E", "W")
+            if device.wire_exists(x, y, direction)))
+        arriving = tuple(sorted(
+            direction for direction in ("N", "S", "E", "W")
+            if device.in_bounds(x - DIRECTIONS_DELTA[direction][0],
+                                y - DIRECTIONS_DELTA[direction][1])))
+        return (outgoing, arriving, len(device.pads_at(x, y)))
+
+    def _pip_count(self, x: int, y: int) -> int:
+        key = self._tile_class(x, y)
+        if key not in self._pip_count_cache:
+            self._pip_count_cache[key] = count_tile_pips(self.device, x, y)
+        return self._pip_count_cache[key]
+
+    def _assign_tiles(self) -> int:
+        offset = 0
+        for (x, y) in self.device.tiles():
+            self._tile_base[(x, y)] = offset
+            self._tile_order.append((x, y))
+            self._tile_starts.append(offset)
+            offset += TILE_LOGIC_BITS + self._pip_count(x, y)
+        return offset
+
+    # ------------------------------------------------------------------
+    @property
+    def frame_bits(self) -> int:
+        return self.device.spec.frame_bits
+
+    @property
+    def num_frames(self) -> int:
+        return (self.total_bits + self.frame_bits - 1) // self.frame_bits
+
+    def frame_of(self, bit: int) -> int:
+        return bit // self.frame_bits
+
+    def tile_bits(self, x: int, y: int) -> int:
+        return TILE_LOGIC_BITS + self._pip_count(x, y)
+
+    def tile_base(self, x: int, y: int) -> int:
+        return self._tile_base[(x, y)]
+
+    # ------------------------------------------------------------------
+    def _tile_pips(self, x: int, y: int) -> List[Pip]:
+        key = (x, y)
+        if key not in self._tile_pip_cache:
+            self._tile_pip_cache[key] = pips_into_tile(self.device, x, y)
+        return self._tile_pip_cache[key]
+
+    def _tile_pip_index(self, x: int, y: int) -> Dict[Pip, int]:
+        key = (x, y)
+        if key not in self._tile_pip_index_cache:
+            self._tile_pip_index_cache[key] = {
+                pip: index for index, pip in enumerate(self._tile_pips(x, y))}
+        return self._tile_pip_index_cache[key]
+
+    # ------------------------------------------------------------------
+    def bit_of(self, resource: Resource) -> int:
+        """Global bit address of a resource."""
+        kind = resource[0]
+        if kind == KIND_LUT_BIT:
+            _, x, y, slot, bit = resource
+            if slot not in LUT_SLOTS:
+                raise KeyError(f"unknown LUT slot {slot!r}")
+            if not 0 <= bit < LUT_BITS:
+                raise KeyError(f"LUT bit {bit} out of range")
+            return self._tile_base[(x, y)] + LUT_SLOTS.index(slot) * LUT_BITS \
+                + bit
+        if kind == KIND_SLICE_CFG:
+            _, x, y, name = resource
+            return self._tile_base[(x, y)] + 2 * LUT_BITS + \
+                SLICE_CFG_BITS.index(name)
+        if kind == KIND_PIP:
+            pip = (resource[1], resource[2])
+            from .routing import pip_tile
+
+            x, y = pip_tile(self.device, pip)
+            index = self._tile_pip_index(x, y).get(pip)
+            if index is None:
+                raise KeyError(f"PIP {pip!r} does not exist in tile "
+                               f"({x}, {y})")
+            return self._tile_base[(x, y)] + TILE_LOGIC_BITS + index
+        raise KeyError(f"unknown resource kind {kind!r}")
+
+    def resource_of(self, bit: int) -> Resource:
+        """Inverse mapping: which resource a bit address controls."""
+        if not 0 <= bit < self.total_bits:
+            raise IndexError(f"bit {bit} outside configuration memory "
+                             f"(0..{self.total_bits - 1})")
+        tile_index = bisect.bisect_right(self._tile_starts, bit) - 1
+        x, y = self._tile_order[tile_index]
+        offset = bit - self._tile_starts[tile_index]
+        if offset < LUT_BITS:
+            return lut_bit(x, y, "F", offset)
+        if offset < 2 * LUT_BITS:
+            return lut_bit(x, y, "G", offset - LUT_BITS)
+        if offset < TILE_LOGIC_BITS:
+            return slice_cfg(x, y, SLICE_CFG_BITS[offset - 2 * LUT_BITS])
+        pip = self._tile_pips(x, y)[offset - TILE_LOGIC_BITS]
+        return pip_resource(pip)
+
+    def routing_bit_count(self) -> int:
+        """Total number of PIP bits in the device."""
+        return self.total_bits - TILE_LOGIC_BITS * self.device.spec.num_tiles
+
+
+@dataclasses.dataclass
+class BitstreamStats:
+    """Composition of a bitstream's programmed (or design-related) bits."""
+
+    routing_bits: int = 0
+    lut_bits: int = 0
+    ff_bits: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.routing_bits + self.lut_bits + self.ff_bits
+
+    def routing_fraction(self) -> float:
+        return self.routing_bits / self.total if self.total else 0.0
+
+
+class ConfigMemory:
+    """The configuration memory contents (one byte per bit for simplicity)."""
+
+    def __init__(self, layout: ConfigLayout) -> None:
+        self.layout = layout
+        self.bits = bytearray(layout.total_bits)
+
+    def set_bit(self, bit: int, value: int = 1) -> None:
+        self.bits[bit] = 1 if value else 0
+
+    def get_bit(self, bit: int) -> int:
+        return self.bits[bit]
+
+    def flip_bit(self, bit: int) -> int:
+        """Flip one bit (the SEU model) and return the new value."""
+        self.bits[bit] ^= 1
+        return self.bits[bit]
+
+    def set_resource(self, resource: Resource, value: int = 1) -> None:
+        self.set_bit(self.layout.bit_of(resource), value)
+
+    def get_resource(self, resource: Resource) -> int:
+        return self.get_bit(self.layout.bit_of(resource))
+
+    def programmed_bits(self) -> List[int]:
+        """Addresses of all bits currently set to one."""
+        return [index for index, value in enumerate(self.bits) if value]
+
+    def count_programmed(self) -> int:
+        return sum(self.bits)
+
+    def copy(self) -> "ConfigMemory":
+        duplicate = ConfigMemory(self.layout)
+        duplicate.bits = bytearray(self.bits)
+        return duplicate
+
+    def frame_view(self, frame: int) -> bytes:
+        start = frame * self.layout.frame_bits
+        end = min(start + self.layout.frame_bits, self.layout.total_bits)
+        return bytes(self.bits[start:end])
+
+    def difference(self, other: "ConfigMemory") -> List[int]:
+        """Bit addresses at which two configuration memories differ."""
+        return [index for index, (a, b) in enumerate(zip(self.bits,
+                                                         other.bits))
+                if a != b]

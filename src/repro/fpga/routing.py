@@ -1,0 +1,296 @@
+"""Routing-fabric model: wires, programmable interconnect points (PIPs) and
+the connectivity rules that generate them.
+
+Routing resources are identified by plain tuples so they can be used as
+dictionary keys and serialized cheaply:
+
+* ``("opin", x, y, pin)``  — a slice output pin (``X``/``Y``/``XQ``/``YQ``)
+* ``("ipin", x, y, pin)``  — a slice input pin (``F1``..``G4``, ``BX``,
+  ``BY``, ``CE``, ``SR``)
+* ``("wire", x, y, d, i)`` — general routing wire *i* leaving tile ``(x, y)``
+  in direction *d* and terminating in the adjacent tile
+* ``("pad_o", k)``         — the fabric-driving side of I/O pad *k* (used
+  when the pad is an input of the design)
+* ``("pad_i", k)``         — the fabric-reading side of I/O pad *k* (used
+  when the pad is an output of the design)
+
+A PIP is a directed ``(source_node, sink_node)`` pair controlled by one
+configuration bit.  The connectivity rules below are deterministic functions
+of the device geometry, so the full routing graph never needs to be stored:
+the router asks for the *downhill* PIPs of a node on demand and the
+configuration-layout code enumerates the PIPs owned by one tile on demand.
+
+All PIP bits are modelled as independent pass-transistor-style bits.  This is
+the simplification that lets a single flipped bit produce the paper's four
+routing-upset effects directly: turning a used PIP off is an *Open*; turning
+an unused PIP on can create a *Bridge*, a *Conflict* or an *Input-Antenna*
+depending on whether its two ends are used (see
+:mod:`repro.faults.models`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .device import (DIRECTIONS, FF_DATA_PIN, LUT_OUTPUT_PIN, OPPOSITE,
+                     SLICE_INPUT_PINS, SLICE_OUTPUT_PINS, Device)
+
+Node = Tuple
+Pip = Tuple[Node, Node]
+
+_OPIN_ORDINAL = {pin: index for index, pin in enumerate(SLICE_OUTPUT_PINS)}
+_IPIN_ORDINAL = {pin: index for index, pin in enumerate(SLICE_INPUT_PINS)}
+
+
+# ----------------------------------------------------------------------
+# Node constructors / predicates
+# ----------------------------------------------------------------------
+def opin(x: int, y: int, pin: str) -> Node:
+    return ("opin", x, y, pin)
+
+
+def ipin(x: int, y: int, pin: str) -> Node:
+    return ("ipin", x, y, pin)
+
+
+def wire(x: int, y: int, direction: str, index: int) -> Node:
+    return ("wire", x, y, direction, index)
+
+
+def pad_output(pad_index: int) -> Node:
+    return ("pad_o", pad_index)
+
+
+def pad_input(pad_index: int) -> Node:
+    return ("pad_i", pad_index)
+
+
+def node_kind(node: Node) -> str:
+    return node[0]
+
+
+def node_tile(device: Device, node: Node) -> Tuple[int, int]:
+    """The tile a node belongs to (a pad belongs to its perimeter tile)."""
+    kind = node[0]
+    if kind in ("opin", "ipin", "wire"):
+        return (node[1], node[2])
+    pad = device.pads[node[1]]
+    return (pad.x, pad.y)
+
+
+def wire_far_end(device: Device, node: Node) -> Optional[Tuple[int, int]]:
+    """The tile a wire terminates in (None if it would leave the array)."""
+    _, x, y, direction, _index = node
+    return device.neighbor(x, y, direction)
+
+
+# ----------------------------------------------------------------------
+# Connectivity rules
+# ----------------------------------------------------------------------
+def opin_wire_indices(device: Device, pin: str) -> List[int]:
+    """Wire indices a slice output pin may drive (4 consecutive indices)."""
+    width = device.spec.wires_per_direction
+    base = (2 * _OPIN_ORDINAL[pin]) % width
+    return [(base + offset) % width for offset in range(min(4, width))]
+
+
+def pad_wire_indices(device: Device, pad_index: int) -> List[int]:
+    """Wire indices an input pad may drive."""
+    width = device.spec.wires_per_direction
+    base = (3 * pad_index) % width
+    return [(base + offset) % width for offset in range(min(4, width))]
+
+
+def ipin_accepts(device: Device, pin: str, wire_index: int) -> bool:
+    """Whether a slice input pin's mux has a PIP from wires of this index.
+
+    Input muxes are fully populated (every arriving wire index is a
+    candidate), which mirrors the large input multiplexers of the Spartan-II
+    CLB and keeps the fabric easily routable.
+    """
+    return True
+
+
+def pad_accepts(pad_index: int, wire_index: int) -> bool:
+    """Whether an output pad's mux has a PIP from wires of this index."""
+    return True
+
+
+def spip_out_indices(device: Device, in_direction: str, out_direction: str,
+                     wire_index: int) -> List[int]:
+    """Outgoing wire indices reachable from an arriving wire in a switch box.
+
+    Turning connections keep the wire index ("subset" switch box); the
+    straight-through connection additionally offers ``index + 2``, giving the
+    router some track mobility along long straight runs.
+    """
+    width = device.spec.wires_per_direction
+    if out_direction == in_direction:
+        return [wire_index, (wire_index + 2) % width]
+    return [wire_index]
+
+
+def opin_feeds_ipin(pin_out: str, pin_in: str) -> bool:
+    """Whether a local feedback PIP exists from an output pin to an input pin.
+
+    The dedicated LUT→FF data path inside the slice is *not* a PIP (it is the
+    DMUX slice configuration bit); these feedback PIPs model the local lines
+    that let a slice output reach the inputs of its own tile without using
+    general routing.
+    """
+    return (_OPIN_ORDINAL[pin_out] + _IPIN_ORDINAL[pin_in]) % 2 == 0
+
+
+def incoming_wires(device: Device, x: int, y: int) -> List[Node]:
+    """Wires owned by neighbouring tiles that terminate in tile ``(x, y)``."""
+    result: List[Node] = []
+    width = device.spec.wires_per_direction
+    for direction, (dx, dy) in DIRECTIONS.items():
+        # A wire arriving here travels in `direction` from the tile at the
+        # opposite offset.
+        source_x, source_y = x - dx, y - dy
+        if not device.in_bounds(source_x, source_y):
+            continue
+        for index in range(width):
+            result.append(wire(source_x, source_y, direction, index))
+    return result
+
+
+def downhill(device: Device, node: Node) -> List[Node]:
+    """All nodes reachable from *node* through exactly one PIP."""
+    kind = node[0]
+    width = device.spec.wires_per_direction
+    result: List[Node] = []
+
+    if kind == "opin":
+        _, x, y, pin = node
+        indices = opin_wire_indices(device, pin)
+        for direction in DIRECTIONS:
+            if device.wire_exists(x, y, direction):
+                for index in indices:
+                    result.append(wire(x, y, direction, index))
+        for pin_in in SLICE_INPUT_PINS:
+            if opin_feeds_ipin(pin, pin_in):
+                result.append(ipin(x, y, pin_in))
+        for pad in device.pads_at(x, y):
+            result.append(pad_input(pad.index))
+        return result
+
+    if kind == "pad_o":
+        pad = device.pads[node[1]]
+        indices = pad_wire_indices(device, node[1])
+        for direction in DIRECTIONS:
+            if device.wire_exists(pad.x, pad.y, direction):
+                for index in indices:
+                    result.append(wire(pad.x, pad.y, direction, index))
+        for pin_in in SLICE_INPUT_PINS:
+            if (node[1] + _IPIN_ORDINAL[pin_in]) % 2 == 0:
+                result.append(ipin(pad.x, pad.y, pin_in))
+        return result
+
+    if kind == "wire":
+        _, x, y, direction, index = node
+        target = device.neighbor(x, y, direction)
+        if target is None:
+            return result
+        tx, ty = target
+        comes_from = OPPOSITE[direction]
+        for out_direction in DIRECTIONS:
+            if out_direction == comes_from:
+                continue
+            if device.wire_exists(tx, ty, out_direction):
+                for out_index in spip_out_indices(device, direction,
+                                                  out_direction, index):
+                    result.append(wire(tx, ty, out_direction, out_index))
+        for pin_in in SLICE_INPUT_PINS:
+            if ipin_accepts(device, pin_in, index):
+                result.append(ipin(tx, ty, pin_in))
+        for pad in device.pads_at(tx, ty):
+            if pad_accepts(pad.index, index):
+                result.append(pad_input(pad.index))
+        return result
+
+    # ipin and pad_i nodes are sinks: nothing downhill.
+    return result
+
+
+def pips_into_tile(device: Device, x: int, y: int) -> List[Pip]:
+    """All PIPs whose configuration bit lives in tile ``(x, y)``.
+
+    A PIP's bit is stored with its *destination* resource: the wires owned by
+    the tile, the tile's slice input pins and the tile's output pads.  The
+    returned order is deterministic and is the canonical order used by the
+    configuration-memory layout.
+    """
+    pips: List[Pip] = []
+    width = device.spec.wires_per_direction
+
+    # 1. PIPs driving the wires owned by this tile: from local output pins,
+    #    from local pads, and from incoming wires (switch-box PIPs).
+    local_sources: List[Node] = [opin(x, y, pin) for pin in SLICE_OUTPUT_PINS]
+    local_sources.extend(pad_output(pad.index) for pad in device.pads_at(x, y))
+    arriving = incoming_wires(device, x, y)
+
+    for direction in sorted(DIRECTIONS):
+        if not device.wire_exists(x, y, direction):
+            continue
+        for index in range(width):
+            destination = wire(x, y, direction, index)
+            for source in local_sources:
+                if source[0] == "opin":
+                    if index in opin_wire_indices(device, source[3]):
+                        pips.append((source, destination))
+                else:
+                    if index in pad_wire_indices(device, source[1]):
+                        pips.append((source, destination))
+            for source in arriving:
+                arrival_direction = source[3]
+                if direction == OPPOSITE[arrival_direction]:
+                    continue
+                if index in spip_out_indices(device, arrival_direction,
+                                             direction, source[4]):
+                    pips.append((source, destination))
+
+    # 2. PIPs driving this tile's slice input pins.
+    for pin_in in SLICE_INPUT_PINS:
+        destination = ipin(x, y, pin_in)
+        for source in arriving:
+            if ipin_accepts(device, pin_in, source[4]):
+                pips.append((source, destination))
+        for pin_out in SLICE_OUTPUT_PINS:
+            if opin_feeds_ipin(pin_out, pin_in):
+                pips.append((opin(x, y, pin_out), destination))
+        for pad in device.pads_at(x, y):
+            if (pad.index + _IPIN_ORDINAL[pin_in]) % 2 == 0:
+                pips.append((pad_output(pad.index), destination))
+
+    # 3. PIPs driving this tile's output pads.
+    for pad in device.pads_at(x, y):
+        destination = pad_input(pad.index)
+        for source in arriving:
+            if pad_accepts(pad.index, source[4]):
+                pips.append((source, destination))
+        for pin_out in SLICE_OUTPUT_PINS:
+            pips.append((opin(x, y, pin_out), destination))
+
+    return pips
+
+
+def count_tile_pips(device: Device, x: int, y: int) -> int:
+    """Number of PIP bits owned by one tile (without materializing them)."""
+    return len(pips_into_tile(device, x, y))
+
+
+def pip_tile(device: Device, pip: Pip) -> Tuple[int, int]:
+    """The tile that owns a PIP's configuration bit (its destination tile)."""
+    return node_tile(device, pip[1])
+
+
+def node_name(node: Node) -> str:
+    """Readable name of a routing node (for reports and debugging)."""
+    kind = node[0]
+    if kind == "wire":
+        return f"wire_x{node[1]}y{node[2]}_{node[3]}{node[4]}"
+    if kind in ("opin", "ipin"):
+        return f"{kind}_x{node[1]}y{node[2]}_{node[3]}"
+    return f"{kind}{node[1]}"

@@ -1,0 +1,249 @@
+"""Netlist transformations: cloning, uniquification and flattening."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from .ir import (Definition, Direction, Instance, InstancePin, Library, Net,
+                 Netlist, NetlistError, TopPin)
+
+#: Separator used when composing hierarchical names during flattening.
+HIER_SEP = "/"
+
+
+def clone_definition(definition: Definition, new_name: str,
+                     library: Optional[Library] = None) -> Definition:
+    """Create a structural copy of *definition* under a new name.
+
+    Child instances keep referencing the *same* child definitions (shallow
+    with respect to hierarchy); ports, nets, instances, connections and
+    properties are copied.
+    """
+    target_library = library if library is not None else definition.library
+    clone = Definition(new_name, library=None, is_primitive=definition.is_primitive)
+    clone.properties = dict(definition.properties)
+
+    for port in definition.ports.values():
+        clone.add_port(port.name, port.direction, port.width)
+
+    for inst in definition.instances.values():
+        new_inst = clone.add_instance(inst.reference, inst.name)
+        new_inst.properties = dict(inst.properties)
+
+    for net in definition.nets.values():
+        new_net = clone.add_net(net.name)
+        new_net.properties = dict(net.properties)
+        for pin in net.pins:
+            if isinstance(pin, InstancePin):
+                new_inst = clone.instances[pin.instance.name]
+                new_net.connect(new_inst.pin(pin.port_name, pin.index))
+            elif isinstance(pin, TopPin):
+                new_net.connect(clone.top_pin(pin.port_name, pin.index))
+            else:  # pragma: no cover - defensive
+                raise NetlistError(f"cannot clone unknown pin type {pin!r}")
+
+    if target_library is not None:
+        target_library.adopt(clone)
+    return clone
+
+
+def uniquify(netlist: Netlist, definition: Optional[Definition] = None,
+             _seen: Optional[Set[int]] = None) -> None:
+    """Ensure every non-primitive definition is instantiated at most once.
+
+    Definitions instantiated multiple times are cloned so each instantiation
+    points at a private copy.  This makes per-instance edits (such as TMR
+    domain tagging) safe.
+    """
+    root = definition if definition is not None else netlist.top
+    if root is None:
+        raise NetlistError("netlist has no top definition to uniquify")
+    if _seen is None:
+        _seen = set()
+
+    use_counts: Dict[int, int] = {}
+
+    def count_uses(current: Definition) -> None:
+        for inst in current.instances.values():
+            ref = inst.reference
+            if ref.is_primitive:
+                continue
+            use_counts[id(ref)] = use_counts.get(id(ref), 0) + 1
+            count_uses(ref)
+
+    count_uses(root)
+
+    def rewrite(current: Definition) -> None:
+        if id(current) in _seen:
+            return
+        _seen.add(id(current))
+        for inst in list(current.instances.values()):
+            ref = inst.reference
+            if ref.is_primitive:
+                continue
+            if use_counts.get(id(ref), 0) > 1:
+                use_counts[id(ref)] -= 1
+                library = ref.library
+                base = ref.name
+                counter = 1
+                new_name = f"{base}_uniq{counter}"
+                while library is not None and new_name in library:
+                    counter += 1
+                    new_name = f"{base}_uniq{counter}"
+                new_ref = clone_definition(ref, new_name, library)
+                inst.reference = new_ref
+                use_counts[id(new_ref)] = 1
+            rewrite(inst.reference)
+
+    rewrite(root)
+
+
+def flatten(netlist: Netlist, top: Optional[Definition] = None,
+            flat_name: Optional[str] = None) -> Definition:
+    """Produce a flat definition containing only primitive instances.
+
+    Hierarchical instance and net names are composed with ``/`` so that
+    ``tap3/adder/fa_2`` identifies the full path of a leaf cell.  Net
+    properties and instance properties are propagated; a property set on a
+    hierarchical instance (for example a TMR ``domain`` tag) is inherited by
+    every leaf cell flattened out of it unless the leaf overrides it.
+
+    The flat definition is added to a ``flat`` library of *netlist* and
+    returned; the original hierarchy is left untouched.
+    """
+    source_top = top if top is not None else netlist.top
+    if source_top is None:
+        raise NetlistError("netlist has no top definition to flatten")
+    name = flat_name if flat_name is not None else f"{source_top.name}_flat"
+
+    flat_library = netlist.get_library("flat")
+    if name in flat_library:
+        raise NetlistError(f"flat library already contains {name!r}")
+    flat = flat_library.add_definition(name)
+    flat.properties = dict(source_top.properties)
+
+    for port in source_top.ports.values():
+        flat.add_port(port.name, port.direction, port.width)
+
+    # Map from (instance path, original net) to flat net.  The path is part
+    # of the key because several instances of the same definition share the
+    # same underlying Net objects.
+    net_map: Dict[tuple, Net] = {}
+
+    def flat_net_for(path: str, net: Net) -> Net:
+        key = (path, id(net))
+        mapped = net_map.get(key)
+        if mapped is None:
+            flat_name_ = net.name if not path else f"{path}{HIER_SEP}{net.name}"
+            if flat_name_ in flat.nets:
+                flat_name_ = flat.make_unique_name(flat_name_)
+            mapped = flat.add_net(flat_name_)
+            mapped.properties = dict(net.properties)
+            net_map[key] = mapped
+        return mapped
+
+    def expand(current: Definition, path: str,
+               boundary: Dict[tuple, Net],
+               inherited: Dict[str, object]) -> None:
+        """Expand *current* in place.
+
+        *boundary* maps (port_name, index) of *current* to the flat net that
+        the parent connected to that port bit.
+        """
+        # Local nets of this level map either to the boundary net (if the
+        # local net touches a top pin of this definition) or to a new flat net.
+        local_map: Dict[int, Net] = {}
+
+        for net in current.nets.values():
+            boundary_net: Optional[Net] = None
+            for pin in net.top_pins():
+                candidate = boundary.get((pin.port_name, pin.index))
+                if candidate is not None:
+                    if boundary_net is None:
+                        boundary_net = candidate
+                    elif boundary_net is not candidate:
+                        # Two boundary nets joined inside: merge by aliasing
+                        # all pins of one onto the other.
+                        _merge_nets(boundary_net, candidate)
+            if boundary_net is not None:
+                local_map[id(net)] = boundary_net
+                # Propagate interesting net properties outward.
+                for key, value in net.properties.items():
+                    boundary_net.properties.setdefault(key, value)
+            else:
+                local_map[id(net)] = flat_net_for(path, net)
+
+        for inst in current.instances.values():
+            inst_path = inst.name if not path else f"{path}{HIER_SEP}{inst.name}"
+            merged_props = dict(inherited)
+            merged_props.update(inst.properties)
+            if inst.is_primitive:
+                new_inst = flat.add_instance(inst.reference, inst_path)
+                new_inst.properties = merged_props
+                for pin in inst.pins():
+                    if pin.net is None:
+                        continue
+                    flat_net = local_map[id(pin.net)]
+                    flat_net.connect(new_inst.pin(pin.port_name, pin.index))
+            else:
+                child_boundary: Dict[tuple, Net] = {}
+                for pin in inst.pins():
+                    if pin.net is None:
+                        continue
+                    child_boundary[(pin.port_name, pin.index)] = \
+                        local_map[id(pin.net)]
+                expand(inst.reference, inst_path, child_boundary, merged_props)
+
+    # Top-level boundary: create flat nets attached to the flat top pins.
+    top_boundary: Dict[tuple, Net] = {}
+    for port in source_top.ports.values():
+        for bit in port.bits():
+            net = flat.add_net(_port_net_name(port.name, bit, port.width))
+            net.connect(flat.top_pin(port.name, bit))
+            top_boundary[(port.name, bit)] = net
+
+    expand(source_top, "", top_boundary, {})
+
+    # Drop nets that ended up with no pins (created then merged away).
+    for net in [n for n in flat.nets.values() if not n.pins]:
+        flat.remove_net(net)
+
+    flat_library_netlist = netlist
+    if flat_library_netlist.top is source_top:
+        # Keep the hierarchical top as the netlist top; callers that want the
+        # flat version receive it as the return value.
+        pass
+    return flat
+
+
+def _port_net_name(port_name: str, bit: int, width: int) -> str:
+    return port_name if width == 1 else f"{port_name}[{bit}]"
+
+
+def _merge_nets(keep: Net, merge: Net) -> None:
+    """Move every pin of *merge* onto *keep* and delete *merge*."""
+    if keep is merge:
+        return
+    for pin in list(merge.pins):
+        keep.connect(pin)
+    for key, value in merge.properties.items():
+        keep.properties.setdefault(key, value)
+    if merge.definition is not None:
+        merge.definition.remove_net(merge)
+
+
+def remove_unconnected_instances(definition: Definition) -> int:
+    """Remove primitive instances none of whose pins are connected.
+
+    Returns the number of instances removed.
+    """
+    removed = 0
+    for inst in list(definition.instances.values()):
+        pins = list(inst.pins())
+        if pins and all(p.net is None for p in pins):
+            definition.remove_instance(inst)
+            removed += 1
+        elif not pins:
+            definition.remove_instance(inst)
+            removed += 1
+    return removed

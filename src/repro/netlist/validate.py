@@ -1,0 +1,131 @@
+"""Structural validation of netlists.
+
+The checker reports problems rather than raising, so callers can decide which
+issues are fatal for their flow (a floating LUT output is harmless, an
+undriven flip-flop clock is not).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from .ir import Definition, Direction, Netlist
+from .traversal import (SEQUENTIAL_CELLS, floating_nets, multiply_driven_nets,
+                        topological_levels, undriven_nets)
+from .ir import NetlistError
+
+
+@dataclasses.dataclass
+class ValidationIssue:
+    """A single problem found by :func:`validate_definition`."""
+
+    severity: str          # "error" or "warning"
+    kind: str              # machine readable category
+    message: str           # human readable description
+    subject: Optional[str] = None   # name of the offending object
+
+    def __str__(self) -> str:
+        subject = f" [{self.subject}]" if self.subject else ""
+        return f"{self.severity.upper()}: {self.kind}{subject}: {self.message}"
+
+
+@dataclasses.dataclass
+class ValidationReport:
+    """Aggregated result of a validation pass."""
+
+    issues: List[ValidationIssue] = dataclasses.field(default_factory=list)
+
+    @property
+    def errors(self) -> List[ValidationIssue]:
+        return [i for i in self.issues if i.severity == "error"]
+
+    @property
+    def warnings(self) -> List[ValidationIssue]:
+        return [i for i in self.issues if i.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def add(self, severity: str, kind: str, message: str,
+            subject: Optional[str] = None) -> None:
+        self.issues.append(ValidationIssue(severity, kind, message, subject))
+
+    def raise_if_errors(self) -> None:
+        if not self.ok:
+            summary = "; ".join(str(e) for e in self.errors[:5])
+            raise NetlistError(f"netlist validation failed: {summary}")
+
+    def __str__(self) -> str:
+        if not self.issues:
+            return "validation: clean"
+        return "\n".join(str(i) for i in self.issues)
+
+
+def validate_definition(definition: Definition,
+                        allow_floating_outputs: bool = True,
+                        check_cycles: bool = True) -> ValidationReport:
+    """Validate a (typically flat) definition.
+
+    Checks performed:
+
+    * every net with sinks has exactly one driver;
+    * no net has multiple drivers;
+    * primitive input pins are connected (warning if not);
+    * output ports of the definition are driven;
+    * the combinational portion is acyclic (if *check_cycles*).
+    """
+    report = ValidationReport()
+
+    for net in undriven_nets(definition):
+        report.add("error", "undriven-net",
+                   f"net has {len(net.sinks())} sink(s) but no driver",
+                   net.name)
+
+    for net in multiply_driven_nets(definition):
+        drivers = ", ".join(repr(d) for d in net.drivers()[:4])
+        report.add("error", "multiple-drivers",
+                   f"net has {len(net.drivers())} drivers: {drivers}", net.name)
+
+    if not allow_floating_outputs:
+        for net in floating_nets(definition):
+            report.add("warning", "floating-net",
+                       "net has a driver but no sinks", net.name)
+
+    for inst in definition.instances.values():
+        if not inst.is_primitive:
+            continue
+        for port in inst.reference.ports.values():
+            if port.direction is not Direction.INPUT:
+                continue
+            for bit in port.bits():
+                if inst.net_of(port.name, bit) is None:
+                    report.add("warning", "unconnected-input",
+                               f"input {port.name}[{bit}] is unconnected",
+                               inst.name)
+
+    for port in definition.output_ports():
+        for bit in port.bits():
+            pin = definition.top_pin(port.name, bit)
+            if pin.net is None:
+                report.add("error", "undriven-output",
+                           f"top output port bit {port.name}[{bit}] is not "
+                           "connected to any net", definition.name)
+
+    if check_cycles:
+        try:
+            topological_levels(definition)
+        except NetlistError as exc:
+            report.add("error", "combinational-loop", str(exc), definition.name)
+
+    return report
+
+
+def validate_netlist(netlist: Netlist, **kwargs) -> ValidationReport:
+    """Validate the top definition of *netlist*."""
+    if netlist.top is None:
+        report = ValidationReport()
+        report.add("error", "no-top", "netlist has no top definition")
+        return report
+    return validate_definition(netlist.top, **kwargs)

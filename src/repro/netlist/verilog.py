@@ -1,0 +1,371 @@
+"""Structural Verilog export and a minimal structural import.
+
+The writer emits flat or hierarchical netlists as gate-level Verilog using
+named port connections, one instance per statement.  The reader accepts the
+same subset back (module / wire / instance / endmodule); it exists so that
+designs can round-trip through text for inspection, diffing and archival,
+not to parse arbitrary third party Verilog.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Optional, TextIO, Tuple
+
+from .ir import (Definition, Direction, Instance, InstancePin, Library, Net,
+                 Netlist, NetlistError, TopPin)
+
+_ID_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_$]*$")
+
+
+def _escape(name: str) -> str:
+    """Escape an identifier for Verilog if it contains special characters."""
+    if _ID_RE.match(name):
+        return name
+    return f"\\{name} "
+
+
+def _unescape(token: str) -> str:
+    if token.startswith("\\"):
+        return token[1:].rstrip()
+    return token
+
+
+def _port_decl(port) -> str:
+    direction = {Direction.INPUT: "input", Direction.OUTPUT: "output",
+                 Direction.INOUT: "inout"}[port.direction]
+    if port.width == 1:
+        return f"  {direction} {_escape(port.name)};"
+    return f"  {direction} [{port.width - 1}:0] {_escape(port.name)};"
+
+
+def write_definition(definition: Definition, stream: TextIO) -> None:
+    """Write one definition as a Verilog module."""
+    port_names = ", ".join(_escape(p.name) for p in definition.ports.values())
+    stream.write(f"module {_escape(definition.name)} ({port_names});\n")
+    for port in definition.ports.values():
+        stream.write(_port_decl(port) + "\n")
+
+    port_bit_nets = _port_bit_net_map(definition)
+    for net in definition.nets.values():
+        if id(net) in port_bit_nets:
+            continue
+        stream.write(f"  wire {_escape(net.name)};\n")
+
+    for inst in definition.instances.values():
+        connections = []
+        for pin in sorted(inst.pins(), key=lambda p: (p.port_name, p.index)):
+            if pin.net is None:
+                continue
+            expr = _net_expr(definition, pin.net, port_bit_nets)
+            port = inst.reference.ports[pin.port_name]
+            if port.width == 1:
+                connections.append(f".{_escape(pin.port_name)}({expr})")
+            else:
+                connections.append(
+                    f".{_escape(pin.port_name)}__{pin.index}({expr})")
+        params = ""
+        if inst.properties.get("INIT") is not None:
+            init = inst.properties["INIT"]
+            params = f" #(.INIT({init}))" if isinstance(init, str) \
+                else f" #(.INIT({init:d}))"
+        stream.write(
+            f"  {_escape(inst.reference.name)}{params} {_escape(inst.name)} "
+            f"({', '.join(connections)});\n")
+    stream.write("endmodule\n\n")
+
+
+def _port_bit_net_map(definition: Definition) -> Dict[int, Tuple[str, int, int]]:
+    """Map net id -> (port name, bit, width) for nets tied to top pins."""
+    result: Dict[int, Tuple[str, int, int]] = {}
+    for pin in definition.top_pins():
+        if pin.net is not None:
+            port = definition.ports[pin.port_name]
+            result[id(pin.net)] = (pin.port_name, pin.index, port.width)
+    return result
+
+
+def _net_expr(definition: Definition, net: Net,
+              port_bit_nets: Dict[int, Tuple[str, int, int]]) -> str:
+    entry = port_bit_nets.get(id(net))
+    if entry is None:
+        return _escape(net.name)
+    port_name, bit, width = entry
+    if width == 1:
+        return _escape(port_name)
+    return f"{_escape(port_name)}[{bit}]"
+
+
+def write_netlist(netlist: Netlist, stream: TextIO,
+                  include_primitives: bool = False) -> None:
+    """Write every non-primitive definition of *netlist* as Verilog."""
+    stream.write(f"// netlist: {netlist.name}\n")
+    if netlist.top is not None:
+        stream.write(f"// top: {netlist.top.name}\n")
+    stream.write("\n")
+    for definition in netlist.all_definitions():
+        if definition.is_primitive and not include_primitives:
+            continue
+        write_definition(definition, stream)
+
+
+def netlist_to_string(netlist: Netlist, include_primitives: bool = False) -> str:
+    """Return the Verilog text of *netlist* as a string."""
+    import io
+
+    buffer = io.StringIO()
+    write_netlist(netlist, buffer, include_primitives)
+    return buffer.getvalue()
+
+
+# ----------------------------------------------------------------------
+# Minimal structural reader
+# ----------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"\\\S+\s|[A-Za-z_][A-Za-z0-9_$]*|\[|\]|[0-9]+|[(),;.#]|'")
+
+
+def _tokenize(text: str) -> List[str]:
+    text = re.sub(r"//[^\n]*", "", text)
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+    return [t.strip() if t.startswith("\\") else t
+            for t in _TOKEN_RE.findall(text)]
+
+
+class _TokenStream:
+    def __init__(self, tokens: List[str]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    def peek(self) -> Optional[str]:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise NetlistError("unexpected end of Verilog input")
+        self._pos += 1
+        return token
+
+    def expect(self, expected: str) -> str:
+        token = self.next()
+        if token != expected:
+            raise NetlistError(f"expected {expected!r}, got {token!r}")
+        return token
+
+    def at_end(self) -> bool:
+        return self._pos >= len(self._tokens)
+
+
+def read_netlist(text: str, netlist: Optional[Netlist] = None,
+                 primitive_library: Optional[Library] = None,
+                 library_name: str = "work") -> Netlist:
+    """Parse structural Verilog produced by :func:`write_netlist`.
+
+    Unknown cell references resolve against *primitive_library* when given;
+    otherwise primitive definitions with single-bit input ports are created
+    on demand (ports are inferred from connection names, inputs assumed).
+    """
+    result = netlist if netlist is not None else Netlist("imported")
+    work = result.get_library(library_name)
+    stream = _TokenStream(_tokenize(text))
+
+    while not stream.at_end():
+        token = stream.next()
+        if token != "module":
+            continue
+        _read_module(stream, result, work, primitive_library)
+
+    if result.top is None:
+        # Use the last module without instantiations by others as top.
+        instantiated = set()
+        for definition in result.all_definitions():
+            for inst in definition.instances.values():
+                instantiated.add(inst.reference.name)
+        for definition in work:
+            if definition.name not in instantiated:
+                result.set_top(definition)
+    return result
+
+
+def _read_module(stream: _TokenStream, netlist: Netlist, work: Library,
+                 primitive_library: Optional[Library]) -> None:
+    name = _unescape(stream.next())
+    definition = work.add_definition(name)
+    stream.expect("(")
+    port_order: List[str] = []
+    while True:
+        token = stream.next()
+        if token == ")":
+            break
+        if token == ",":
+            continue
+        port_order.append(_unescape(token))
+    stream.expect(";")
+
+    # Body
+    while True:
+        token = stream.next()
+        if token == "endmodule":
+            break
+        if token in ("input", "output", "inout"):
+            _read_port_decl(stream, definition, token)
+        elif token == "wire":
+            _read_wire_decl(stream, definition)
+        else:
+            _read_instance(stream, definition, token, netlist, work,
+                           primitive_library)
+
+
+def _read_range(stream: _TokenStream) -> int:
+    """Parse an optional ``[msb:lsb]`` range; return the width."""
+    if stream.peek() != "[":
+        return 1
+    stream.expect("[")
+    msb = int(stream.next())
+    # tolerate "msb : lsb" split across ':' missing in token set -> numbers only
+    token = stream.next()
+    if token == "]":
+        return msb + 1
+    lsb = int(token) if token.isdigit() else 0
+    while stream.peek() not in ("]", None):
+        candidate = stream.next()
+        if candidate.isdigit():
+            lsb = int(candidate)
+    stream.expect("]")
+    return abs(msb - lsb) + 1
+
+
+def _read_port_decl(stream: _TokenStream, definition: Definition,
+                    direction_token: str) -> None:
+    direction = {"input": Direction.INPUT, "output": Direction.OUTPUT,
+                 "inout": Direction.INOUT}[direction_token]
+    width = _read_range(stream)
+    while True:
+        token = stream.next()
+        if token == ";":
+            break
+        if token == ",":
+            continue
+        definition.add_port(_unescape(token), direction, width)
+
+
+def _read_wire_decl(stream: _TokenStream, definition: Definition) -> None:
+    width = _read_range(stream)
+    while True:
+        token = stream.next()
+        if token == ";":
+            break
+        if token == ",":
+            continue
+        base = _unescape(token)
+        if width == 1:
+            if base not in definition.nets:
+                definition.add_net(base)
+        else:
+            for bit in range(width):
+                bit_name = f"{base}[{bit}]"
+                if bit_name not in definition.nets:
+                    definition.add_net(bit_name)
+
+
+def _resolve_reference(name: str, netlist: Netlist, work: Library,
+                       primitive_library: Optional[Library]) -> Definition:
+    if primitive_library is not None and name in primitive_library:
+        return primitive_library.definitions[name]
+    existing = netlist.find_definition(name)
+    if existing is not None:
+        return existing
+    return work.add_definition(name, is_primitive=True)
+
+
+def _net_for_expr(definition: Definition, expr: str) -> Net:
+    """Resolve a connection expression (net name or port[bit]) to a net."""
+    match = re.match(r"^(.*)\[(\d+)\]$", expr)
+    base, bit = (match.group(1), int(match.group(2))) if match else (expr, 0)
+    if base in definition.ports:
+        port = definition.ports[base]
+        pin = definition.top_pin(base, bit)
+        if pin.net is None:
+            net_name = expr if port.width > 1 else base
+            net = definition.get_or_create_net(net_name)
+            net.connect(pin)
+        return pin.net
+    return definition.get_or_create_net(expr)
+
+
+def _read_instance(stream: _TokenStream, definition: Definition,
+                   ref_token: str, netlist: Netlist, work: Library,
+                   primitive_library: Optional[Library]) -> None:
+    ref_name = _unescape(ref_token)
+    init_value: Optional[int] = None
+    if stream.peek() == "#":
+        stream.expect("#")
+        stream.expect("(")
+        depth = 1
+        params: List[str] = []
+        while depth:
+            token = stream.next()
+            if token == "(":
+                depth += 1
+            elif token == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            params.append(token)
+        joined = "".join(params)
+        match = re.search(r"INIT\((\d+)\)", joined)
+        if match:
+            init_value = int(match.group(1))
+
+    inst_name = _unescape(stream.next())
+    reference = _resolve_reference(ref_name, netlist, work, primitive_library)
+    instance = definition.add_instance(reference, inst_name)
+    if init_value is not None:
+        instance.properties["INIT"] = init_value
+
+    stream.expect("(")
+    while True:
+        token = stream.next()
+        if token == ")":
+            break
+        if token == ",":
+            continue
+        if token != ".":
+            raise NetlistError(f"expected named connection, got {token!r}")
+        port_token = _unescape(stream.next())
+        port_name, index = _split_port_bit(port_token)
+        stream.expect("(")
+        expr_tokens: List[str] = []
+        depth = 1
+        while depth:
+            inner = stream.next()
+            if inner == "(":
+                depth += 1
+            elif inner == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            expr_tokens.append(inner)
+        expr = "".join(_unescape(t) for t in expr_tokens)
+        if reference.is_primitive and port_name not in reference.ports:
+            # Infer: first connection position named O/Q/Y etc is output.
+            direction = Direction.OUTPUT if port_name in ("O", "Q", "Y", "OUT") \
+                else Direction.INPUT
+            reference.add_port(port_name, direction, index + 1)
+        elif port_name in reference.ports and \
+                reference.ports[port_name].width <= index:
+            reference.ports[port_name].width = index + 1
+        net = _net_for_expr(definition, expr)
+        instance.connect(port_name, net, index)
+    stream.expect(";")
+
+
+def _split_port_bit(token: str) -> Tuple[str, int]:
+    match = re.match(r"^(.*)__(\d+)$", token)
+    if match:
+        return match.group(1), int(match.group(2))
+    return token, 0

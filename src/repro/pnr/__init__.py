@@ -1,0 +1,18 @@
+"""Packing, placement, routing and timing onto the FPGA device model."""
+
+from .flow import Implementation, implement
+from .pack import PackResult, SliceAssignment, VIRTUAL_CELLS, pack
+from .place import Floorplan, Placement, place
+from .route import (DirectConnection, NetRequest, Router, RoutingError,
+                    RoutingResult, RouteTree, SinkSpec, SkippedNet,
+                    extract_routing_problem, route_design)
+from .timing import TimingReport, estimate_timing
+
+__all__ = [
+    "Implementation", "implement", "PackResult", "SliceAssignment",
+    "VIRTUAL_CELLS", "pack", "Floorplan", "Placement", "place",
+    "DirectConnection", "NetRequest", "Router", "RoutingError",
+    "RoutingResult", "RouteTree", "SinkSpec", "SkippedNet",
+    "extract_routing_problem", "route_design", "TimingReport",
+    "estimate_timing",
+]

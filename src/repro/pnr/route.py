@@ -1,0 +1,517 @@
+"""Negotiated-congestion routing over the device's PIP graph.
+
+The router follows the PathFinder recipe: every net is routed with an A*
+search over the routing-resource graph, sharing of a wire by several nets is
+initially tolerated but progressively penalized (present congestion cost) and
+remembered (history cost), and offending nets are ripped up and rerouted
+until no wire is overused.  The result records, per net, the route tree
+(parent pointers, used PIPs and the path serving every sink), which is what
+bitstream generation and the routing-fault models consume.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..cells.library import FF_CELLS, LUT_CELLS
+from ..fpga.device import (FF_DATA_PIN, FF_OUTPUT_PIN, FF_PAIRED_LUT,
+                           LUT_INPUT_PIN, LUT_OUTPUT_PIN, Device)
+from ..fpga.routing import Node, Pip, downhill, node_tile, pad_input, \
+    pad_output, ipin, opin
+from ..netlist.ir import Definition, Instance, InstancePin, Net, TopPin
+from .pack import PackResult, VIRTUAL_CELLS
+from .place import Placement
+
+
+class RoutingError(Exception):
+    """Raised when the router cannot legally route the design."""
+
+
+@dataclasses.dataclass
+class SinkSpec:
+    """One routable sink of a net."""
+
+    node: Node
+    cell: Optional[str]          # flat cell name (None for top-level ports)
+    port: Optional[str]          # cell port (e.g. "I2", "D") or port name
+    bit: int = 0
+
+
+@dataclasses.dataclass
+class NetRequest:
+    """A net the router must realise."""
+
+    name: str
+    source: Node
+    sinks: List[SinkSpec]
+
+
+@dataclasses.dataclass
+class RouteTree:
+    """The routed tree of one net."""
+
+    net: str
+    source: Node
+    #: node -> parent node (source has no entry)
+    parent: Dict[Node, Node]
+    #: sink node -> SinkSpec
+    sinks: Dict[Node, SinkSpec]
+
+    def pips(self) -> Set[Pip]:
+        return {(parent, node) for node, parent in self.parent.items()}
+
+    def nodes(self) -> Set[Node]:
+        result = set(self.parent)
+        result.add(self.source)
+        return result
+
+    def path_to(self, sink: Node) -> List[Node]:
+        """Nodes from the source to *sink* (inclusive)."""
+        path = [sink]
+        current = sink
+        while current in self.parent:
+            current = self.parent[current]
+            path.append(current)
+        path.reverse()
+        return path
+
+    def sinks_through(self, node: Node) -> List[SinkSpec]:
+        """Sinks whose path from the source passes through *node*."""
+        result = []
+        for sink_node, spec in self.sinks.items():
+            current = sink_node
+            while True:
+                if current == node:
+                    result.append(spec)
+                    break
+                if current not in self.parent:
+                    break
+                current = self.parent[current]
+        return result
+
+
+@dataclasses.dataclass
+class SkippedNet:
+    name: str
+    reason: str
+
+
+@dataclasses.dataclass
+class DirectConnection:
+    """A sink served by a dedicated intra-slice path (no routing)."""
+
+    net: str
+    cell: str
+    port: str
+
+
+@dataclasses.dataclass
+class RoutingResult:
+    """Complete routing of a design."""
+
+    routes: Dict[str, RouteTree]
+    skipped: List[SkippedNet]
+    direct: List[DirectConnection]
+    #: wire/pin node -> owning net name
+    node_owner: Dict[Node, str]
+    #: PIP -> owning net name
+    pip_owner: Dict[Pip, str]
+    iterations: int = 0
+    total_wirelength: int = 0
+
+    def used_pips(self) -> Set[Pip]:
+        return set(self.pip_owner)
+
+
+# ----------------------------------------------------------------------
+# Routing-problem extraction
+# ----------------------------------------------------------------------
+def _site_of(cell: str, pack_result: PackResult, placement: Placement
+             ) -> Tuple[int, int, str]:
+    slice_index, slot = pack_result.cell_site[cell]
+    x, y = placement.slice_tiles[slice_index]
+    return x, y, slot
+
+
+def _driver_node(net: Net, definition: Definition, pack_result: PackResult,
+                 placement: Placement) -> Tuple[Optional[Node], Optional[str]]:
+    """Return (source node, skip reason)."""
+    drivers = net.drivers()
+    if not drivers:
+        return None, "undriven"
+    if len(drivers) > 1:
+        return None, "multiple-drivers"
+    driver = drivers[0]
+    if isinstance(driver, TopPin):
+        pad = placement.port_pads.get((driver.port_name, driver.index))
+        if pad is None:
+            return None, "unplaced-port"
+        return pad_output(pad), None
+    assert isinstance(driver, InstancePin)
+    cell = driver.instance
+    cell_type = cell.reference.name
+    if cell_type in ("GND", "VCC"):
+        return None, "constant"
+    if cell_type in VIRTUAL_CELLS:
+        return None, "virtual-driver"
+    x, y, slot = _site_of(cell.name, pack_result, placement)
+    if cell_type in LUT_CELLS:
+        return opin(x, y, LUT_OUTPUT_PIN[slot]), None
+    if cell_type in FF_CELLS:
+        return opin(x, y, FF_OUTPUT_PIN[slot]), None
+    return None, f"unhandled-driver-{cell_type}"
+
+
+def _sink_specs(net: Net, definition: Definition, pack_result: PackResult,
+                placement: Placement, driver_cell: Optional[str]
+                ) -> Tuple[List[SinkSpec], List[DirectConnection], int]:
+    """Return (routable sinks, direct connections, clock sink count)."""
+    sinks: List[SinkSpec] = []
+    direct: List[DirectConnection] = []
+    clock_sinks = 0
+    for pin in net.sinks():
+        if isinstance(pin, TopPin):
+            pad = placement.port_pads.get((pin.port_name, pin.index))
+            if pad is None:
+                continue
+            sinks.append(SinkSpec(pad_input(pad), None, pin.port_name,
+                                  pin.index))
+            continue
+        assert isinstance(pin, InstancePin)
+        cell = pin.instance
+        cell_type = cell.reference.name
+        if cell_type in VIRTUAL_CELLS:
+            continue
+        if cell_type in FF_CELLS and pin.port_name == "C":
+            clock_sinks += 1
+            continue
+        x, y, slot = _site_of(cell.name, pack_result, placement)
+        if cell_type in LUT_CELLS:
+            index = int(pin.port_name[1:])
+            pin_name = LUT_INPUT_PIN[(slot, index)]
+            sinks.append(SinkSpec(ipin(x, y, pin_name), cell.name,
+                                  pin.port_name))
+            continue
+        if cell_type in FF_CELLS:
+            if pin.port_name == "D":
+                slice_index, _ = pack_result.cell_site[cell.name]
+                assignment = pack_result.slices[slice_index]
+                paired_lut = assignment.cells.get(FF_PAIRED_LUT[slot])
+                if slot in assignment.direct_ff_data and \
+                        paired_lut is not None and paired_lut == driver_cell:
+                    direct.append(DirectConnection(net.name, cell.name, "D"))
+                    continue
+                sinks.append(SinkSpec(ipin(x, y, FF_DATA_PIN[slot]),
+                                      cell.name, "D"))
+            elif pin.port_name == "CE":
+                sinks.append(SinkSpec(ipin(x, y, "CE"), cell.name, "CE"))
+            elif pin.port_name in ("R", "CLR"):
+                sinks.append(SinkSpec(ipin(x, y, "SR"), cell.name,
+                                      pin.port_name))
+            continue
+    return sinks, direct, clock_sinks
+
+
+def extract_routing_problem(definition: Definition, pack_result: PackResult,
+                            placement: Placement
+                            ) -> Tuple[List[NetRequest], List[SkippedNet],
+                                       List[DirectConnection]]:
+    """Turn the flat netlist + placement into routing requests."""
+    requests: List[NetRequest] = []
+    skipped: List[SkippedNet] = []
+    direct_connections: List[DirectConnection] = []
+
+    for net in definition.nets.values():
+        source, reason = _driver_node(net, definition, pack_result, placement)
+        if source is None:
+            skipped.append(SkippedNet(net.name, reason or "unroutable"))
+            continue
+        driver_cell = None
+        drivers = net.drivers()
+        if drivers and isinstance(drivers[0], InstancePin):
+            driver_cell = drivers[0].instance.name
+        sinks, direct, clock_sinks = _sink_specs(
+            net, definition, pack_result, placement, driver_cell)
+        direct_connections.extend(direct)
+        if not sinks:
+            if clock_sinks:
+                skipped.append(SkippedNet(net.name, "global-clock"))
+            elif direct:
+                skipped.append(SkippedNet(net.name, "intra-slice"))
+            else:
+                skipped.append(SkippedNet(net.name, "no-sinks"))
+            continue
+        requests.append(NetRequest(net.name, source, sinks))
+    return requests, skipped, direct_connections
+
+
+# ----------------------------------------------------------------------
+# PathFinder-style router
+# ----------------------------------------------------------------------
+class Router:
+    """Negotiated-congestion router."""
+
+    def __init__(self, device: Device, max_iterations: int = 12,
+                 present_factor: float = 0.5,
+                 present_growth: float = 1.8,
+                 history_increment: float = 1.0,
+                 allow_overuse: bool = False,
+                 heuristic_weight: float = 1.3,
+                 bounding_box_margin: int = 3) -> None:
+        self.device = device
+        self.max_iterations = max_iterations
+        self.present_factor = present_factor
+        self.present_growth = present_growth
+        self.history_increment = history_increment
+        self.allow_overuse = allow_overuse
+        #: weighted-A* factor (>1 trades a little wirelength for speed)
+        self.heuristic_weight = heuristic_weight
+        #: exploration is confined to the net's bounding box plus this margin
+        #: (the margin grows on later negotiation iterations)
+        self.bounding_box_margin = bounding_box_margin
+        self._downhill_cache: Dict[Node, List[Node]] = {}
+        self._extra_margin = 0
+
+    def _downhill(self, node: Node) -> List[Node]:
+        cached = self._downhill_cache.get(node)
+        if cached is None:
+            cached = downhill(self.device, node)
+            self._downhill_cache[node] = cached
+        return cached
+
+    # --------------------------------------------------------------
+    def route(self, requests: Sequence[NetRequest]) -> Tuple[
+            Dict[str, RouteTree], int]:
+        """Route all requests; returns (trees, iterations used)."""
+        occupancy: Dict[Node, int] = {}
+        history: Dict[Node, float] = {}
+        trees: Dict[str, RouteTree] = {}
+        present_factor = self.present_factor
+
+        order = sorted(requests, key=lambda r: (len(r.sinks), r.name))
+        to_route = list(order)
+        iteration = 0
+        while iteration < self.max_iterations:
+            iteration += 1
+            # Congested designs get a progressively wider search window.
+            self._extra_margin = 2 * (iteration - 1)
+            for request in to_route:
+                existing = trees.pop(request.name, None)
+                if existing is not None:
+                    self._release(existing, occupancy)
+                tree = self._route_net(request, occupancy, history,
+                                       present_factor)
+                trees[request.name] = tree
+                self._claim(tree, occupancy)
+
+            overused = {node for node, count in occupancy.items()
+                        if count > 1 and node[0] == "wire"}
+            if not overused:
+                return trees, iteration
+            for node in overused:
+                history[node] = history.get(node, 0.0) + \
+                    self.history_increment
+            present_factor *= self.present_growth
+            to_route = [request for request in order
+                        if trees[request.name].nodes() & overused]
+
+        if not self.allow_overuse:
+            overused = {node for node, count in occupancy.items()
+                        if count > 1 and node[0] == "wire"}
+            raise RoutingError(
+                f"router failed to resolve congestion after "
+                f"{self.max_iterations} iterations; {len(overused)} wires "
+                f"remain overused")
+        return trees, iteration
+
+    # --------------------------------------------------------------
+    def _claim(self, tree: RouteTree, occupancy: Dict[Node, int]) -> None:
+        for node in tree.nodes():
+            occupancy[node] = occupancy.get(node, 0) + 1
+
+    def _release(self, tree: RouteTree, occupancy: Dict[Node, int]) -> None:
+        for node in tree.nodes():
+            remaining = occupancy.get(node, 0) - 1
+            if remaining <= 0:
+                occupancy.pop(node, None)
+            else:
+                occupancy[node] = remaining
+
+    def _node_cost(self, node: Node, occupancy: Dict[Node, int],
+                   history: Dict[Node, float],
+                   present_factor: float) -> float:
+        cost = 1.0 + history.get(node, 0.0)
+        usage = occupancy.get(node, 0)
+        if usage > 0 and node[0] == "wire":
+            cost += present_factor * usage
+        elif usage > 0:
+            # Pins are exclusive: make reuse by another net prohibitive.
+            cost += 1000.0
+        return cost
+
+    def _route_net(self, request: NetRequest, occupancy: Dict[Node, int],
+                   history: Dict[Node, float],
+                   present_factor: float) -> RouteTree:
+        device = self.device
+        parent: Dict[Node, Node] = {}
+        tree_nodes: Set[Node] = {request.source}
+        sink_map: Dict[Node, SinkSpec] = {}
+
+        # Grow the tree outwards: route near sinks first so that far sinks
+        # can attach to an already-extended tree instead of searching from
+        # the source every time.
+        source_tile = node_tile(device, request.source)
+        ordered_sinks = sorted(
+            request.sinks,
+            key=lambda spec: device.manhattan(
+                source_tile, node_tile(device, spec.node)))
+
+        bounding_box = self._net_bounding_box(request)
+        for spec in ordered_sinks:
+            if spec.node in tree_nodes:
+                sink_map[spec.node] = spec
+                continue
+            path = self._find_path(tree_nodes, spec.node, occupancy, history,
+                                   present_factor, bounding_box)
+            if path is None:
+                # Retry once without the bounding-box restriction before
+                # declaring the sink unroutable.
+                path = self._find_path(tree_nodes, spec.node, occupancy,
+                                       history, present_factor, None)
+            if path is None:
+                raise RoutingError(
+                    f"no path from {request.source} to {spec.node} "
+                    f"for net {request.name!r}")
+            previous = path[0]
+            for node in path[1:]:
+                if node not in parent:
+                    parent[node] = previous
+                previous = node
+                tree_nodes.add(node)
+            sink_map[spec.node] = spec
+
+        return RouteTree(request.name, request.source, parent, sink_map)
+
+    def _net_bounding_box(self, request: NetRequest
+                          ) -> Tuple[int, int, int, int]:
+        """Bounding box (min x, min y, max x, max y) of the net's terminals,
+        expanded by the configured margin."""
+        device = self.device
+        tiles = [node_tile(device, request.source)]
+        tiles.extend(node_tile(device, spec.node) for spec in request.sinks)
+        margin = self.bounding_box_margin + self._extra_margin
+        min_x = max(0, min(t[0] for t in tiles) - margin)
+        min_y = max(0, min(t[1] for t in tiles) - margin)
+        max_x = min(device.columns - 1, max(t[0] for t in tiles) + margin)
+        max_y = min(device.rows - 1, max(t[1] for t in tiles) + margin)
+        return (min_x, min_y, max_x, max_y)
+
+    def _find_path(self, tree_nodes: Set[Node], target: Node,
+                   occupancy: Dict[Node, int], history: Dict[Node, float],
+                   present_factor: float,
+                   bounding_box: Optional[Tuple[int, int, int, int]]
+                   ) -> Optional[List[Node]]:
+        device = self.device
+        target_tile = node_tile(device, target)
+        weight = self.heuristic_weight
+
+        def heuristic(node: Node) -> float:
+            return weight * device.manhattan(node_tile(device, node),
+                                             target_tile)
+
+        came_from: Dict[Node, Optional[Node]] = {}
+        best_cost: Dict[Node, float] = {}
+        frontier: List[Tuple[float, float, int, Node]] = []
+        counter = 0
+        for node in tree_nodes:
+            came_from[node] = None
+            best_cost[node] = 0.0
+            heapq.heappush(frontier, (heuristic(node), 0.0, counter, node))
+            counter += 1
+
+        # Hot loop: the helpers are inlined because this search dominates the
+        # implementation runtime of large TMR designs.
+        target_x, target_y = target_tile
+        infinity = float("inf")
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        occupancy_get = occupancy.get
+        history_get = history.get
+        best_get = best_cost.get
+
+        while frontier:
+            _, cost_so_far, _, node = heappop(frontier)
+            if cost_so_far > best_get(node, infinity):
+                continue
+            if node == target:
+                path = [node]
+                current = node
+                while came_from[current] is not None:
+                    current = came_from[current]
+                    path.append(current)
+                path.reverse()
+                return path
+            for neighbor in self._downhill(node):
+                kind = neighbor[0]
+                if kind in ("ipin", "pad_i") and neighbor != target:
+                    continue  # foreign sinks are not through-routing resources
+                if bounding_box is not None and kind == "wire":
+                    if not (bounding_box[0] <= neighbor[1] <= bounding_box[2]
+                            and bounding_box[1] <= neighbor[2]
+                            <= bounding_box[3]):
+                        continue
+                step = 1.0 + history_get(neighbor, 0.0)
+                usage = occupancy_get(neighbor, 0)
+                if usage:
+                    if kind == "wire":
+                        step += present_factor * usage
+                    else:
+                        step += 1000.0
+                new_cost = cost_so_far + step
+                if new_cost < best_get(neighbor, infinity):
+                    best_cost[neighbor] = new_cost
+                    came_from[neighbor] = node
+                    counter += 1
+                    if kind == "pad_i":
+                        estimate = 0.0
+                    else:
+                        estimate = weight * (abs(neighbor[1] - target_x)
+                                             + abs(neighbor[2] - target_y))
+                    heappush(frontier, (new_cost + estimate, new_cost,
+                                        counter, neighbor))
+        return None
+
+
+def route_design(definition: Definition, pack_result: PackResult,
+                 placement: Placement, device: Device,
+                 max_iterations: int = 12,
+                 allow_overuse: bool = False) -> RoutingResult:
+    """Extract the routing problem and run the negotiated-congestion router."""
+    requests, skipped, direct = extract_routing_problem(
+        definition, pack_result, placement)
+    router = Router(device, max_iterations=max_iterations,
+                    allow_overuse=allow_overuse)
+    trees, iterations = router.route(requests)
+
+    node_owner: Dict[Node, str] = {}
+    pip_owner: Dict[Pip, str] = {}
+    wirelength = 0
+    for name, tree in trees.items():
+        for node in tree.nodes():
+            node_owner[node] = name
+            if node[0] == "wire":
+                wirelength += 1
+        for pip in tree.pips():
+            pip_owner[pip] = name
+
+    return RoutingResult(
+        routes=trees,
+        skipped=skipped,
+        direct=direct,
+        node_owner=node_owner,
+        pip_owner=pip_owner,
+        iterations=iterations,
+        total_wirelength=wirelength,
+    )

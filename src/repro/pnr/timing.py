@@ -1,0 +1,162 @@
+"""Static timing estimation.
+
+The estimator walks the combinational levels of the compiled design, adding a
+LUT propagation delay per gate and a placement-derived net delay per
+connection, and reports the critical register-to-register (or pad-to-pad)
+path as an estimated maximum clock frequency — the "Estimated Performance"
+column of the paper's Table 2.  Absolute numbers are calibrated loosely to a
+Spartan-IIE speed grade; the quantity of interest is the *relative* cost of
+the voter barriers each TMR partition inserts into the datapath.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from ..cells.library import FF_CELLS, LUT_CELLS
+from ..netlist.ir import Definition, InstancePin, TopPin
+from ..netlist.traversal import topological_levels
+from .pack import PackResult, VIRTUAL_CELLS
+from .place import Placement
+
+#: LUT propagation delay (ns).
+LUT_DELAY_NS = 0.7
+#: Flip-flop clock-to-out plus setup budget (ns).
+FF_CLK_TO_Q_NS = 1.0
+FF_SETUP_NS = 0.6
+#: Net delay model: fixed PIP/driver delay plus per-tile-of-distance delay.
+NET_BASE_DELAY_NS = 0.4
+NET_PER_TILE_NS = 0.18
+#: I/O buffer delays.
+PAD_IN_DELAY_NS = 0.9
+PAD_OUT_DELAY_NS = 2.2
+
+
+@dataclasses.dataclass
+class TimingReport:
+    """Result of the timing estimate."""
+
+    critical_path_ns: float
+    fmax_mhz: float
+    critical_cell: Optional[str]
+    logic_levels: int
+
+    def __str__(self) -> str:
+        return (f"critical path {self.critical_path_ns:.2f} ns "
+                f"({self.fmax_mhz:.0f} MHz), {self.logic_levels} levels, "
+                f"ending at {self.critical_cell}")
+
+
+def _net_delay(definition: Definition, placement: Optional[Placement],
+               driver_cell: Optional[str], sink_cell: Optional[str]) -> float:
+    if placement is None or driver_cell is None or sink_cell is None:
+        return NET_BASE_DELAY_NS
+    try:
+        source = placement.cell_tiles[driver_cell]
+        target = placement.cell_tiles[sink_cell]
+    except KeyError:
+        return NET_BASE_DELAY_NS
+    distance = abs(source[0] - target[0]) + abs(source[1] - target[1])
+    return NET_BASE_DELAY_NS + NET_PER_TILE_NS * distance
+
+
+def estimate_timing(definition: Definition,
+                    placement: Optional[Placement] = None) -> TimingReport:
+    """Estimate the critical path of a flat design.
+
+    Arrival times propagate through the levelized combinational network;
+    flip-flop outputs and primary inputs start paths, flip-flop inputs and
+    primary outputs end them.
+    """
+    arrival: Dict[str, float] = {}   # net name -> arrival time (ns)
+    critical = 0.0
+    critical_cell: Optional[str] = None
+
+    # Primary inputs arrive after the input pad delay.
+    for port in definition.input_ports():
+        for bit in port.bits():
+            pin = definition.top_pin(port.name, bit)
+            if pin.net is not None:
+                arrival[pin.net.name] = PAD_IN_DELAY_NS
+
+    levels = topological_levels(definition)
+    logic_levels = 0
+    for level in levels:
+        level_has_luts = False
+        for instance in level:
+            cell_type = instance.reference.name
+            if cell_type in FF_CELLS:
+                # Path end: D arrival + setup; path start: Q at clk-to-out.
+                d_net = instance.net_of("D")
+                if d_net is not None and d_net.name in arrival:
+                    d_arrival = arrival[d_net.name] + _net_delay(
+                        definition, placement,
+                        _driver_cell_of(d_net), instance.name) + FF_SETUP_NS
+                    if d_arrival > critical:
+                        critical = d_arrival
+                        critical_cell = instance.name
+                q_net = instance.net_of("Q")
+                if q_net is not None:
+                    arrival[q_net.name] = FF_CLK_TO_Q_NS
+                continue
+            if cell_type in ("GND", "VCC"):
+                out = instance.net_of("G") or instance.net_of("P")
+                if out is not None:
+                    arrival[out.name] = 0.0
+                continue
+            if cell_type in VIRTUAL_CELLS:
+                out = instance.net_of("O")
+                if out is not None:
+                    arrival[out.name] = max(
+                        (arrival.get(n.name, 0.0)
+                         for n in _input_nets(instance)), default=0.0)
+                continue
+            if cell_type in LUT_CELLS:
+                level_has_luts = True
+                worst = 0.0
+                for net in _input_nets(instance):
+                    incoming = arrival.get(net.name, 0.0) + _net_delay(
+                        definition, placement, _driver_cell_of(net),
+                        instance.name)
+                    worst = max(worst, incoming)
+                out = instance.net_of("O")
+                if out is not None:
+                    arrival[out.name] = worst + LUT_DELAY_NS
+                continue
+        if level_has_luts:
+            logic_levels += 1
+
+    # Primary outputs end paths through the output pad.
+    for port in definition.output_ports():
+        for bit in port.bits():
+            pin = definition.top_pin(port.name, bit)
+            if pin.net is None or pin.net.name not in arrival:
+                continue
+            total = arrival[pin.net.name] + PAD_OUT_DELAY_NS
+            if total > critical:
+                critical = total
+                critical_cell = f"{port.name}[{bit}]"
+
+    critical = max(critical, FF_CLK_TO_Q_NS + FF_SETUP_NS)
+    return TimingReport(
+        critical_path_ns=critical,
+        fmax_mhz=1000.0 / critical,
+        critical_cell=critical_cell,
+        logic_levels=logic_levels,
+    )
+
+
+def _input_nets(instance) -> List:
+    nets = []
+    for pin in instance.pins():
+        if not pin.is_driver and pin.net is not None:
+            nets.append(pin.net)
+    return nets
+
+
+def _driver_cell_of(net) -> Optional[str]:
+    for pin in net.drivers():
+        if isinstance(pin, InstancePin):
+            return pin.instance.name
+    return None

@@ -1,0 +1,99 @@
+"""Golden-versus-DUT output comparison.
+
+The paper's fault-injection system compares the DUT against a golden device
+"every clock cycle"; a fault is classified as a *Wrong Answer* when any
+output differs on any cycle.  These helpers implement that comparison over
+simulation traces, treating an unknown (X) DUT output as wrong whenever the
+golden output is known — the pessimistic reading of a floating or conflicting
+signal reaching the output pads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from ..cells import logic
+from .simulator import SimulationTrace
+
+
+@dataclasses.dataclass
+class ComparisonResult:
+    """Outcome of comparing a DUT trace against the golden trace."""
+
+    wrong_answer: bool
+    first_mismatch_cycle: Optional[int]
+    mismatching_cycles: int
+    mismatching_ports: List[str]
+
+    @property
+    def silent(self) -> bool:
+        """True when the fault never produced an observable difference."""
+        return not self.wrong_answer
+
+
+def _bits_mismatch(dut_bits: Sequence[int], golden_bits: Sequence[int]) -> bool:
+    for dut, gold in zip(dut_bits, golden_bits):
+        if gold == logic.UNKNOWN:
+            continue
+        if dut != gold:
+            return True
+    return False
+
+
+def compare_traces(dut: SimulationTrace, golden: SimulationTrace,
+                   ports: Optional[Sequence[str]] = None,
+                   skip_cycles: int = 0) -> ComparisonResult:
+    """Compare two traces cycle by cycle over the selected output ports.
+
+    *skip_cycles* ignores the first cycles (useful when the golden device and
+    the DUT need a warm-up period, e.g. while X values flush out of
+    uninitialised paths).
+    """
+    if len(dut.outputs) != len(golden.outputs):
+        raise ValueError("traces have different lengths")
+    first_mismatch: Optional[int] = None
+    mismatching_cycles = 0
+    mismatching_ports: List[str] = []
+
+    for cycle, (dut_out, golden_out) in enumerate(zip(dut.outputs,
+                                                      golden.outputs)):
+        if cycle < skip_cycles:
+            continue
+        selected = ports if ports is not None else golden_out.keys()
+        cycle_mismatch = False
+        for port in selected:
+            if _bits_mismatch(dut_out[port], golden_out[port]):
+                cycle_mismatch = True
+                if port not in mismatching_ports:
+                    mismatching_ports.append(port)
+        if cycle_mismatch:
+            mismatching_cycles += 1
+            if first_mismatch is None:
+                first_mismatch = cycle
+
+    return ComparisonResult(
+        wrong_answer=first_mismatch is not None,
+        first_mismatch_cycle=first_mismatch,
+        mismatching_cycles=mismatching_cycles,
+        mismatching_ports=mismatching_ports,
+    )
+
+
+def outputs_as_ints(trace: SimulationTrace, port: str,
+                    signed: bool = True) -> List[Optional[int]]:
+    """Convenience re-export of :meth:`SimulationTrace.output_ints`."""
+    return trace.output_ints(port, signed)
+
+
+def trace_matches_reference(trace: SimulationTrace, port: str,
+                            reference: Sequence[int], signed: bool = True,
+                            skip_cycles: int = 0) -> bool:
+    """Check a simulated output stream against a behavioural reference."""
+    produced = trace.output_ints(port, signed)
+    for cycle, (got, expected) in enumerate(zip(produced, reference)):
+        if cycle < skip_cycles:
+            continue
+        if got != expected:
+            return False
+    return True

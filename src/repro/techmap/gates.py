@@ -1,0 +1,183 @@
+"""Gate-level construction helpers that emit LUT primitives directly.
+
+The RTL generators in :mod:`repro.rtl` express arithmetic in terms of simple
+gates; :class:`GateBuilder` lowers each gate onto the smallest LUT primitive
+that implements it (this is the "technology mapping" step of the flow — the
+optional LUT-merging optimizer in :mod:`repro.techmap.mapper` then packs
+chains of small LUTs into fuller LUT4s).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..cells import lut as lut_inits
+from ..cells.library import lut_cell_for_inputs
+from ..netlist.builder import NetlistBuilder
+from ..netlist.ir import Definition, Instance, Net, NetlistError
+
+
+class GateBuilder:
+    """Lowers boolean gates onto LUT primitives inside one definition."""
+
+    def __init__(self, builder: NetlistBuilder) -> None:
+        if builder.cell_library is None:
+            raise NetlistError("GateBuilder requires a cell library")
+        self.builder = builder
+        self.definition = builder.definition
+        self.cells = builder.cell_library
+
+    # ------------------------------------------------------------------
+    # Core LUT instantiation
+    # ------------------------------------------------------------------
+    def lut(self, init: int, inputs: Sequence[Net],
+            output: Optional[Net] = None,
+            name_hint: str = "lut") -> Net:
+        """Instantiate a LUT with the given INIT over *inputs* (I0 first)."""
+        count = len(inputs)
+        if not 1 <= count <= 4:
+            raise NetlistError(f"LUT must have 1..4 inputs, got {count}")
+        reference = lut_cell_for_inputs(self.cells, count)
+        out = output if output is not None else self.builder.wire(
+            self.definition.make_unique_name(name_hint))
+        instance = self.definition.add_instance(
+            reference, self.definition.make_unique_name(name_hint))
+        instance.properties["INIT"] = init
+        for index, net in enumerate(inputs):
+            instance.connect(f"I{index}", net, 0)
+        instance.connect("O", out, 0)
+        return out
+
+    # ------------------------------------------------------------------
+    # Named gates
+    # ------------------------------------------------------------------
+    def buf(self, a: Net, output: Optional[Net] = None) -> Net:
+        return self.lut(lut_inits.INIT_BUF, [a], output, "buf")
+
+    def inv(self, a: Net, output: Optional[Net] = None) -> Net:
+        return self.lut(lut_inits.INIT_INV, [a], output, "inv")
+
+    def and2(self, a: Net, b: Net, output: Optional[Net] = None) -> Net:
+        return self.lut(lut_inits.INIT_AND2, [a, b], output, "and")
+
+    def or2(self, a: Net, b: Net, output: Optional[Net] = None) -> Net:
+        return self.lut(lut_inits.INIT_OR2, [a, b], output, "or")
+
+    def xor2(self, a: Net, b: Net, output: Optional[Net] = None) -> Net:
+        return self.lut(lut_inits.INIT_XOR2, [a, b], output, "xor")
+
+    def xnor2(self, a: Net, b: Net, output: Optional[Net] = None) -> Net:
+        return self.lut(lut_inits.INIT_XNOR2, [a, b], output, "xnor")
+
+    def nand2(self, a: Net, b: Net, output: Optional[Net] = None) -> Net:
+        return self.lut(lut_inits.INIT_NAND2, [a, b], output, "nand")
+
+    def nor2(self, a: Net, b: Net, output: Optional[Net] = None) -> Net:
+        return self.lut(lut_inits.INIT_NOR2, [a, b], output, "nor")
+
+    def andnot2(self, a: Net, b: Net, output: Optional[Net] = None) -> Net:
+        """a AND (NOT b)."""
+        return self.lut(lut_inits.INIT_ANDNOT2, [a, b], output, "andnot")
+
+    def and3(self, a: Net, b: Net, c: Net, output: Optional[Net] = None) -> Net:
+        return self.lut(lut_inits.INIT_AND3, [a, b, c], output, "and3")
+
+    def or3(self, a: Net, b: Net, c: Net, output: Optional[Net] = None) -> Net:
+        return self.lut(lut_inits.INIT_OR3, [a, b, c], output, "or3")
+
+    def xor3(self, a: Net, b: Net, c: Net, output: Optional[Net] = None) -> Net:
+        return self.lut(lut_inits.INIT_XOR3, [a, b, c], output, "xor3")
+
+    def mux2(self, select: Net, if_zero: Net, if_one: Net,
+             output: Optional[Net] = None) -> Net:
+        """2:1 mux; ``if_zero`` selected when *select* = 0."""
+        return self.lut(lut_inits.INIT_MUX2, [if_zero, if_one, select],
+                        output, "mux")
+
+    def majority3(self, a: Net, b: Net, c: Net,
+                  output: Optional[Net] = None) -> Net:
+        """Majority-of-three — the TMR voter function in one LUT."""
+        return self.lut(lut_inits.INIT_MAJ3, [a, b, c], output, "maj")
+
+    # ------------------------------------------------------------------
+    # Arithmetic bit slices
+    # ------------------------------------------------------------------
+    def half_adder(self, a: Net, b: Net) -> Tuple[Net, Net]:
+        """Return (sum, carry)."""
+        return self.xor2(a, b), self.and2(a, b)
+
+    def full_adder(self, a: Net, b: Net, carry_in: Net) -> Tuple[Net, Net]:
+        """Return (sum, carry_out) — one XOR3 LUT plus one MAJ3 LUT."""
+        total = self.xor3(a, b, carry_in)
+        carry = self.majority3(a, b, carry_in)
+        return total, carry
+
+    def full_subtractor(self, a: Net, b: Net, borrow_in: Net) -> Tuple[Net, Net]:
+        """Return (difference, borrow_out) for a - b."""
+        diff = self.xor3(a, b, borrow_in)
+        borrow = self.lut(
+            lut_inits.init_from_function(
+                lambda x, y, bin_: ((1 - x) & y) | ((1 - x) & bin_) | (y & bin_),
+                3),
+            [a, b, borrow_in], None, "borrow")
+        return diff, borrow
+
+    # ------------------------------------------------------------------
+    # Word helpers
+    # ------------------------------------------------------------------
+    def invert_word(self, word: Sequence[Net]) -> List[Net]:
+        return [self.inv(bit) for bit in word]
+
+    def constant(self, value: int) -> Net:
+        return self.builder.power() if value else self.builder.ground()
+
+    def reduce_or(self, nets: Sequence[Net]) -> Net:
+        """OR-reduce an arbitrary number of nets with a LUT tree."""
+        remaining = list(nets)
+        if not remaining:
+            return self.builder.ground()
+        while len(remaining) > 1:
+            next_level: List[Net] = []
+            index = 0
+            while index < len(remaining):
+                chunk = remaining[index:index + 4]
+                index += 4
+                if len(chunk) == 1:
+                    next_level.append(chunk[0])
+                elif len(chunk) == 2:
+                    next_level.append(self.or2(chunk[0], chunk[1]))
+                elif len(chunk) == 3:
+                    next_level.append(self.or3(chunk[0], chunk[1], chunk[2]))
+                else:
+                    next_level.append(self.lut(lut_inits.INIT_OR4, chunk,
+                                               None, "or4"))
+            remaining = next_level
+        return remaining[0]
+
+    def equal_const(self, word: Sequence[Net], value: int) -> Net:
+        """Comparator: 1 when *word* equals the unsigned constant *value*."""
+        matched: List[Net] = []
+        for position, bit in enumerate(word):
+            if (value >> position) & 1:
+                matched.append(bit)
+            else:
+                matched.append(self.inv(bit))
+        # AND-reduce
+        remaining = matched
+        while len(remaining) > 1:
+            next_level: List[Net] = []
+            index = 0
+            while index < len(remaining):
+                chunk = remaining[index:index + 4]
+                index += 4
+                if len(chunk) == 1:
+                    next_level.append(chunk[0])
+                elif len(chunk) == 2:
+                    next_level.append(self.and2(chunk[0], chunk[1]))
+                elif len(chunk) == 3:
+                    next_level.append(self.and3(chunk[0], chunk[1], chunk[2]))
+                else:
+                    next_level.append(self.lut(lut_inits.INIT_AND4, chunk,
+                                               None, "and4"))
+            remaining = next_level
+        return remaining[0] if remaining else self.builder.power()
