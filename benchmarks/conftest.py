@@ -3,9 +3,11 @@
 The benchmarks regenerate the paper's tables and figures on a reduced
 configuration (the ``smoke`` scale by default) so that the full suite runs in
 a few minutes.  Set ``REPRO_BENCH_SCALE=fast`` or ``paper`` for larger runs,
-and ``REPRO_BENCH_FAULTS`` to override the number of injected upsets per
-design; the experiment CLIs (``python -m repro.experiments.table3 --scale
-paper``) expose the same knobs outside pytest.
+``REPRO_BENCH_FAULTS`` to override the number of injected upsets per design,
+and ``REPRO_BENCH_BACKEND`` (``serial`` / ``batch`` / ``process``) to pick
+the campaign execution backend; the experiment CLIs (``python -m
+repro.experiments.table3 --scale paper --backend batch``) expose the same
+knobs outside pytest.
 
 All heavy artefacts (the five implemented filter versions and their
 fault-injection campaigns) are built once per session and shared by every
@@ -24,6 +26,7 @@ from repro.faults import run_campaign
 
 BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "smoke")
 BENCH_FAULTS = int(os.environ.get("REPRO_BENCH_FAULTS", "0")) or None
+BENCH_BACKEND = os.environ.get("REPRO_BENCH_BACKEND", "batch")
 
 
 @pytest.fixture(scope="session")
@@ -39,5 +42,6 @@ def implementations(design_suite):
 @pytest.fixture(scope="session")
 def campaigns(design_suite, implementations):
     config = campaign_config_for(design_suite, num_faults=BENCH_FAULTS)
-    return {name: run_campaign(implementations[name], config)
+    return {name: run_campaign(implementations[name], config,
+                               backend=BENCH_BACKEND)
             for name in DESIGN_ORDER}

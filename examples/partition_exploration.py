@@ -45,7 +45,8 @@ def main() -> None:
               f"{candidate.voter_area_luts:4d} voter LUTs, "
               f"p = {candidate.defeat_probability:.4f}")
 
-    print("\nmeasuring the two extreme Pareto points with fault injection:")
+    print("\nmeasuring the two extreme Pareto points with fault injection "
+          "(batch engine backend):")
     config = campaign_config_for(suite)
     device = device_by_name(suite.scale.tmr_device)
     for candidate in (front[0], front[-1]):
@@ -55,7 +56,7 @@ def main() -> None:
                                      name_suffix=f"_{name}"))
         flat = flatten(netlist, result.definition, flat_name=f"{name}_flat")
         implementation = implement(flat, device, anneal_moves_per_slice=2)
-        campaign = run_campaign(implementation, config)
+        campaign = run_campaign(implementation, config, backend="batch")
         print(f"  {candidate.strategy.describe():10s}: "
               f"{campaign.wrong_answer_percent:5.2f}% wrong answers "
               f"({implementation.slice_count} slices)")

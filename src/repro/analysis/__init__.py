@@ -2,13 +2,14 @@
 
 from .resources import (ResourceRow, area_overhead, format_resource_table,
                         performance_degradation, resource_row, resource_table)
-from .robustness import (TradeoffPoint, best_partition,
+from .robustness import (TradeoffPoint, best_partition, campaign_tradeoff,
                          domain_crossing_summary, improvement_factor,
                          routing_effect_share, tradeoff_curve)
 
 __all__ = [
     "ResourceRow", "area_overhead", "format_resource_table",
     "performance_degradation", "resource_row", "resource_table",
-    "TradeoffPoint", "best_partition", "domain_crossing_summary",
-    "improvement_factor", "routing_effect_share", "tradeoff_curve",
+    "TradeoffPoint", "best_partition", "campaign_tradeoff",
+    "domain_crossing_summary", "improvement_factor", "routing_effect_share",
+    "tradeoff_curve",
 ]

@@ -13,7 +13,8 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.analysis import estimate_robustness
 from ..core.tmr import TMRResult
-from ..faults.campaign import CampaignResult
+from ..faults.campaign import CampaignConfig, CampaignResult, run_campaigns
+from ..faults.engine import BackendLike, ProgressCallback
 from ..pnr.flow import Implementation
 
 
@@ -88,6 +89,25 @@ def tradeoff_curve(implementations: Mapping[str, Implementation],
         ))
     points.sort(key=lambda point: point.voters)
     return points
+
+
+def campaign_tradeoff(implementations: Mapping[str, Implementation],
+                      config: Optional[CampaignConfig] = None,
+                      tmr_results: Optional[Mapping[str, TMRResult]] = None,
+                      backend: BackendLike = None,
+                      progress: Optional[ProgressCallback] = None
+                      ) -> List[TradeoffPoint]:
+    """Run the campaigns through the execution engine and build the curve.
+
+    One-call form of :func:`tradeoff_curve` for callers that have the
+    implemented versions but no campaign results yet; *backend* selects the
+    campaign execution backend, and repeated calls reuse the golden-trace /
+    fault-effect cache.
+    """
+    campaigns = run_campaigns(dict(implementations), config,
+                              progress=progress, backend=backend)
+    return tradeoff_curve(implementations, campaigns,
+                          tmr_results=tmr_results)
 
 
 def routing_effect_share(result: CampaignResult) -> float:

@@ -8,8 +8,8 @@ from .table2 import run_table2
 from .table3 import campaign_config_for, run_table3, summarize
 from .table4 import PAPER_TABLE4, derived_claims, run_table4
 from .figures import (ascii_partition_diagram, figure1_summary,
-                      figure2_summary, figure3_summary, figure4_summary,
-                      run_figures)
+                      figure1_upset_demo, figure2_summary, figure3_summary,
+                      figure4_summary, run_figures)
 from .ablations import fault_list_mode_study, floorplan_study, partition_sweep
 
 __all__ = [
@@ -19,7 +19,7 @@ __all__ = [
     "implement_design_suite", "scale_by_name", "tmr_configs", "run_table2",
     "campaign_config_for", "run_table3", "summarize", "PAPER_TABLE4",
     "derived_claims", "run_table4", "ascii_partition_diagram",
-    "figure1_summary", "figure2_summary", "figure3_summary",
-    "figure4_summary", "run_figures", "fault_list_mode_study",
-    "floorplan_study", "partition_sweep",
+    "figure1_summary", "figure1_upset_demo", "figure2_summary",
+    "figure3_summary", "figure4_summary", "run_figures",
+    "fault_list_mode_study", "floorplan_study", "partition_sweep",
 ]

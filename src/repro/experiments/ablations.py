@@ -19,6 +19,7 @@ from typing import Dict, Optional, Sequence
 
 from ..core import EveryKth, sweep_partitions
 from ..faults import CampaignConfig, CampaignResult, run_campaign
+from ..faults.engine import BACKEND_CHOICES, BackendLike, resolve_backend
 from ..pnr import Implementation
 from .designs import (DesignSuite, build_design_suite,
                       implement_design_suite)
@@ -42,18 +43,19 @@ def partition_sweep(suite: Optional[DesignSuite] = None, scale: str = "fast",
 
 def floorplan_study(suite: Optional[DesignSuite] = None, scale: str = "smoke",
                     design: str = "TMR_p3", num_faults: Optional[int] = None,
-                    ) -> Dict[str, object]:
+                    backend: BackendLike = None) -> Dict[str, object]:
     """Compare interleaved placement against per-domain floorplanning."""
     if suite is None:
         suite = build_design_suite(scale)
     config = campaign_config_for(suite, num_faults)
+    engine = resolve_backend(backend)
 
     interleaved = implement_design_suite(suite, designs=[design])[design]
     floorplanned = implement_design_suite(suite, designs=[design],
                                           floorplan_domains=True)[design]
 
-    result_interleaved = run_campaign(interleaved, config)
-    result_floorplanned = run_campaign(floorplanned, config)
+    result_interleaved = run_campaign(interleaved, config, backend=engine)
+    result_floorplanned = run_campaign(floorplanned, config, backend=engine)
     return {
         "design": design,
         "interleaved": result_interleaved.summary_row(),
@@ -65,13 +67,14 @@ def floorplan_study(suite: Optional[DesignSuite] = None, scale: str = "smoke",
 
 def fault_list_mode_study(implementation: Implementation,
                           suite: DesignSuite,
-                          num_faults: Optional[int] = None
-                          ) -> Dict[str, object]:
+                          num_faults: Optional[int] = None,
+                          backend: BackendLike = None) -> Dict[str, object]:
     """How the fault-list selection mode changes the measured percentages."""
+    engine = resolve_backend(backend)
     out: Dict[str, object] = {}
     for mode in ("design", "programmed"):
         config = campaign_config_for(suite, num_faults, fault_list_mode=mode)
-        result = run_campaign(implementation, config)
+        result = run_campaign(implementation, config, backend=engine)
         out[mode] = result.summary_row()
     return out
 
@@ -82,14 +85,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         choices=("paper", "fast", "smoke"))
     parser.add_argument("--study", default="sweep",
                         choices=("sweep", "floorplan"))
+    parser.add_argument("--backend", default="serial",
+                        choices=BACKEND_CHOICES,
+                        help="campaign execution backend")
     arguments = parser.parse_args(argv)
 
     if arguments.study == "sweep":
         print(json.dumps(partition_sweep(scale=arguments.scale), indent=2,
                          default=str))
     else:
-        print(json.dumps(floorplan_study(scale=arguments.scale), indent=2,
-                         default=str))
+        print(json.dumps(floorplan_study(scale=arguments.scale,
+                                         backend=arguments.backend),
+                         indent=2, default=str))
     return 0
 
 

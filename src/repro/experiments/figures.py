@@ -25,7 +25,10 @@ from typing import Dict, List, Optional, Sequence
 from ..cells import logic
 from ..core import (NUM_DOMAINS, build_voted_register, check_domain_isolation,
                     compute_voter_regions, voter_instances)
+from ..faults import CampaignConfig, categories, run_campaign
+from ..faults.engine import BACKEND_CHOICES, BackendLike
 from ..netlist import Netlist, flatten
+from ..pnr import Implementation
 from ..sim import CompiledDesign, Simulator
 from .designs import DesignSuite, build_design_suite, tmr_configs
 
@@ -117,6 +120,49 @@ def figure4_summary(suite: DesignSuite) -> Dict[str, object]:
     return summary
 
 
+def figure1_upset_demo(implementation: Implementation,
+                       num_faults: int = 400, seed: int = 2005,
+                       backend: BackendLike = "batch") -> Dict[str, object]:
+    """Measured counterparts of Figure 1's two example routing upsets.
+
+    Figure 1 annotates the plain TMR scheme with upset "a" (a routing fault
+    confined to one redundant domain, masked by the voters) and upset "b" (a
+    routing fault coupling two domains, able to defeat the TMR).  This demo
+    runs one engine-backed campaign on an implemented TMR version and
+    returns a concrete example of each, alongside the masked/error counts of
+    the routing categories.
+    """
+    config = CampaignConfig(num_faults=num_faults, seed=seed)
+    result = run_campaign(implementation, config, backend=backend)
+    routing = [r for r in result.results
+               if r.category in categories.ROUTING_CATEGORIES
+               and r.has_effect]
+    masked = next((r for r in routing if not r.wrong_answer), None)
+    defeating = next((r for r in routing if r.wrong_answer), None)
+
+    def describe(record) -> Optional[Dict[str, object]]:
+        if record is None:
+            return None
+        return {
+            "bit": record.bit,
+            "category": record.category,
+            "wrong_answer": record.wrong_answer,
+            "detail": record.detail,
+        }
+
+    return {
+        "design": result.design,
+        "backend": result.backend,
+        "routing_upsets_with_effect": len(routing),
+        "routing_upsets_masked": sum(1 for r in routing
+                                     if not r.wrong_answer),
+        "routing_upsets_defeating": sum(1 for r in routing
+                                        if r.wrong_answer),
+        "upset_a_masked_in_domain": describe(masked),
+        "upset_b_defeats_tmr": describe(defeating),
+    }
+
+
 def ascii_partition_diagram(suite: DesignSuite, name: str) -> str:
     """A small ASCII rendering of one filter version's voter placement."""
     result = suite.tmr.get(name)
@@ -162,11 +208,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", default="fast",
                         choices=("paper", "fast", "smoke"))
+    parser.add_argument("--upsets", action="store_true",
+                        help="also implement TMR_p3 and measure Figure 1's "
+                             "example routing upsets via a campaign")
+    parser.add_argument("--backend", default="batch",
+                        choices=BACKEND_CHOICES,
+                        help="campaign execution backend for --upsets")
     parser.add_argument("--json", action="store_true")
     arguments = parser.parse_args(argv)
 
     suite = build_design_suite(arguments.scale)
     summary = run_figures(suite)
+    if arguments.upsets:
+        from .designs import implement_design_suite
+
+        implementation = implement_design_suite(
+            suite, designs=["TMR_p3"])["TMR_p3"]
+        summary["figure1_upsets"] = figure1_upset_demo(
+            implementation, backend=arguments.backend)
     if arguments.json:
         print(json.dumps(summary, indent=2, default=str))
     else:

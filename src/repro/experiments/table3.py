@@ -10,11 +10,13 @@ from __future__ import annotations
 
 import argparse
 import json
+import sys
 from typing import Dict, Optional, Sequence
 
 from ..analysis import best_partition, improvement_factor
 from ..faults import CampaignConfig, CampaignResult, run_campaign, \
     table3_report
+from ..faults.engine import BACKEND_CHOICES, BackendLike, resolve_backend
 from ..pnr import Implementation
 from .designs import (DESIGN_ORDER, PAPER_TABLE3_PERCENT, DesignSuite,
                       build_design_suite, implement_design_suite)
@@ -37,13 +39,19 @@ def run_table3(suite: Optional[DesignSuite] = None,
                implementations: Optional[Dict[str, Implementation]] = None,
                scale: str = "fast", num_faults: Optional[int] = None,
                fault_list_mode: str = "design",
-               progress: bool = False) -> Dict[str, CampaignResult]:
-    """Run the Table 3 campaigns and return one result per design."""
+               progress: bool = False,
+               backend: BackendLike = None) -> Dict[str, CampaignResult]:
+    """Run the Table 3 campaigns and return one result per design.
+
+    *backend* selects the campaign execution backend (``"serial"``,
+    ``"batch"`` or ``"process"``); every backend yields identical results.
+    """
     if suite is None:
         suite = build_design_suite(scale)
     if implementations is None:
         implementations = implement_design_suite(suite)
     config = campaign_config_for(suite, num_faults, fault_list_mode)
+    engine = resolve_backend(backend)
 
     results: Dict[str, CampaignResult] = {}
     for name in DESIGN_ORDER:
@@ -51,10 +59,12 @@ def run_table3(suite: Optional[DesignSuite] = None,
             continue
         callback = None
         if progress:
+            # stderr so ``--json`` runs keep a machine-readable stdout
             callback = lambda done, total, design=name: print(
-                f"  {design}: {done}/{total} faults", flush=True)
+                f"  {design}: {done}/{total} faults", file=sys.stderr,
+                flush=True)
         results[name] = run_campaign(implementations[name], config,
-                                     progress=callback)
+                                     progress=callback, backend=engine)
     return results
 
 
@@ -82,11 +92,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--fault-list", default="design",
                         choices=("design", "extended", "programmed"),
                         help="fault-list selection mode")
+    parser.add_argument("--backend", default="serial",
+                        choices=BACKEND_CHOICES,
+                        help="campaign execution backend")
     parser.add_argument("--json", action="store_true")
     arguments = parser.parse_args(argv)
 
     results = run_table3(scale=arguments.scale, num_faults=arguments.faults,
-                         fault_list_mode=arguments.fault_list, progress=True)
+                         fault_list_mode=arguments.fault_list, progress=True,
+                         backend=arguments.backend)
     if arguments.json:
         payload = {name: result.summary_row()
                    for name, result in results.items()}

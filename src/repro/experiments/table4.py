@@ -14,6 +14,7 @@ from typing import Dict, Optional, Sequence
 
 from ..analysis import routing_effect_share
 from ..faults import CampaignResult, table4_report
+from ..faults.engine import BACKEND_CHOICES, BackendLike
 from ..pnr import Implementation
 from .designs import DESIGN_ORDER, DesignSuite, build_design_suite, \
     implement_design_suite
@@ -42,12 +43,13 @@ PAPER_TABLE4 = {
 def run_table4(results: Optional[Dict[str, CampaignResult]] = None,
                suite: Optional[DesignSuite] = None,
                implementations: Optional[Dict[str, Implementation]] = None,
-               scale: str = "fast", num_faults: Optional[int] = None
-               ) -> Dict[str, Dict[str, int]]:
+               scale: str = "fast", num_faults: Optional[int] = None,
+               backend: BackendLike = None) -> Dict[str, Dict[str, int]]:
     """Return the per-design effect breakdown of error-causing upsets."""
     if results is None:
         results = run_table3(suite=suite, implementations=implementations,
-                             scale=scale, num_faults=num_faults)
+                             scale=scale, num_faults=num_faults,
+                             backend=backend)
     table: Dict[str, Dict[str, int]] = {}
     for name, result in results.items():
         table[name] = result.effect_table()
@@ -72,11 +74,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--scale", default="fast",
                         choices=("paper", "fast", "smoke"))
     parser.add_argument("--faults", type=int, default=None)
+    parser.add_argument("--backend", default="serial",
+                        choices=BACKEND_CHOICES,
+                        help="campaign execution backend")
     parser.add_argument("--json", action="store_true")
     arguments = parser.parse_args(argv)
 
     results = run_table3(scale=arguments.scale, num_faults=arguments.faults,
-                         progress=True)
+                         progress=True, backend=arguments.backend)
     if arguments.json:
         print(json.dumps({
             "measured": run_table4(results),

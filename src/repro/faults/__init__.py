@@ -1,8 +1,15 @@
 """Bitstream fault injection: fault lists, models, injection and campaigns."""
 
 from . import categories
+from .cache import (CampaignCache, CampaignCacheEntry, cache_stats,
+                    clear_cache, configure_cache, get_cache,
+                    implementation_fingerprint)
 from .campaign import (CampaignConfig, CampaignResult, CategoryCount,
                        default_stimulus, run_campaign, run_campaigns)
+from .engine import (BACKEND_CHOICES, BACKENDS, BatchBackend,
+                     CampaignContext, ExecutionBackend, FaultTask,
+                     FaultVerdict, ProcessPoolBackend, ProgressCallback,
+                     SerialBackend, program_signature, resolve_backend)
 from .fault_list import FAULT_LIST_MODES, FaultList, FaultListManager
 from .injector import FaultInjectionManager, FaultResult
 from .models import FaultEffect, FaultModeler
@@ -15,4 +22,12 @@ __all__ = [
     "FaultList", "FaultListManager", "FaultInjectionManager", "FaultResult",
     "FaultEffect", "FaultModeler", "campaign_details", "format_table",
     "table3_report", "table4_report",
+    # execution engine
+    "BACKEND_CHOICES", "BACKENDS", "BatchBackend", "CampaignContext",
+    "ExecutionBackend",
+    "FaultTask", "FaultVerdict", "ProcessPoolBackend", "ProgressCallback",
+    "SerialBackend", "program_signature", "resolve_backend",
+    # cache layer
+    "CampaignCache", "CampaignCacheEntry", "cache_stats", "clear_cache",
+    "configure_cache", "get_cache", "implementation_fingerprint",
 ]

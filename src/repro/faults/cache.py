@@ -1,0 +1,254 @@
+"""Golden-trace and fault-effect caching for repeated campaigns.
+
+The paper's experiments (Tables 3/4, the ablations, the figures and the
+partition sweeps) repeatedly run campaigns over the *same* implemented
+designs.  Everything campaign-invariant is a pure function of the
+implementation (and, for golden traces, of the stimulus), so this module
+memoizes it behind an implementation *fingerprint*:
+
+* the :class:`~repro.sim.compile.CompiledDesign` (levelization),
+* the fault lists per selection mode,
+* the golden traces per stimulus (with the overlay-free gate program),
+* the modelled :class:`~repro.faults.models.FaultEffect` per bit,
+* the fault cones per seed-net set.
+
+The fingerprint hashes the configuration-memory contents plus the design and
+device identity, so two :class:`~repro.pnr.flow.Implementation` objects with
+identical bitstreams share one cache entry, while re-implementing (different
+placement seed, floorplan, device) forms a new one.  A small LRU bounds the
+number of retained designs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import weakref
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from ..pnr.flow import Implementation
+from ..sim.compile import CompiledDesign, FaultCone
+from ..sim.simulator import SimulationTrace, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .fault_list import FaultList
+    from .models import FaultEffect
+
+#: Default number of implementations kept in the global cache.
+DEFAULT_MAX_ENTRIES = 8
+
+#: Golden traces retained per implementation (they record every net value
+#: per cycle, by far the heaviest cached artefact; distinct stimuli beyond
+#: this evict least-recently-used).
+MAX_GOLDEN_PER_ENTRY = 4
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Hit/miss counters, one pair per cached artefact kind."""
+
+    compiled_hits: int = 0
+    compiled_misses: int = 0
+    golden_hits: int = 0
+    golden_misses: int = 0
+    effect_hits: int = 0
+    effect_misses: int = 0
+    fault_list_hits: int = 0
+    fault_list_misses: int = 0
+    cone_hits: int = 0
+    cone_misses: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+def stimulus_key(stimulus: Sequence[Dict[str, int]]) -> Tuple:
+    """A hashable identity for a stimulus stream.
+
+    Input values may be integers or explicit bit lists (see
+    :meth:`Simulator._apply_inputs`); both are normalized to hashables.
+    """
+    def freeze(value):
+        if isinstance(value, (list, tuple)):
+            return tuple(value)
+        return value
+
+    return tuple(
+        tuple(sorted((name, freeze(value)) for name, value in cycle.items()))
+        for cycle in stimulus)
+
+
+def implementation_fingerprint(implementation: Implementation) -> str:
+    """Content hash identifying one implemented design."""
+    digest = hashlib.sha1()
+    digest.update(implementation.design.name.encode())
+    digest.update(implementation.device.spec.name.encode())
+    digest.update(str(implementation.layout.total_bits).encode())
+    digest.update(bytes(implementation.bitstream.bits))
+    return digest.hexdigest()
+
+
+class CampaignCacheEntry:
+    """Everything campaign-invariant known about one implementation."""
+
+    def __init__(self, fingerprint: str,
+                 implementation: Implementation) -> None:
+        self.fingerprint = fingerprint
+        #: kept weak so a cached entry does not pin a heavyweight
+        #: implementation alive on its own
+        self._implementation = weakref.ref(implementation)
+        self._compiled: Optional[CompiledDesign] = None
+        self._fault_lists: Dict[str, "FaultList"] = {}
+        #: stimulus key -> (golden trace, overlay-free gate program);
+        #: LRU-bounded, the traces dominate the cache's memory
+        self._golden: "OrderedDict[Tuple, Tuple[SimulationTrace, object]]" \
+            = OrderedDict()
+        self._effects: Dict[int, "FaultEffect"] = {}
+        self._cones: Dict[Tuple[int, ...], FaultCone] = {}
+
+    # ------------------------------------------------------------------
+    def compiled_design(self, stats: CacheStats,
+                        compiled: Optional[CompiledDesign] = None
+                        ) -> CompiledDesign:
+        if compiled is not None:
+            # A caller-supplied compilation wins; adopt it so later lookups
+            # (cones, effects) refer to the same net numbering object.
+            # Artefacts derived from a previously adopted compilation are
+            # dropped — the caller may have compiled a variant netlist, and
+            # mixing gate/net numberings would corrupt results silently.
+            if self._compiled is not compiled:
+                if self._compiled is not None:
+                    self._golden.clear()
+                    self._cones.clear()
+                    self._effects.clear()
+                self._compiled = compiled
+            return compiled
+        if self._compiled is None:
+            implementation = self._implementation()
+            if implementation is None:
+                raise RuntimeError("cached implementation was garbage "
+                                   "collected")
+            stats.compiled_misses += 1
+            self._compiled = CompiledDesign(implementation.design)
+        else:
+            stats.compiled_hits += 1
+        return self._compiled
+
+    def fault_list(self, mode: str, stats: CacheStats) -> "FaultList":
+        if mode not in self._fault_lists:
+            from .fault_list import FaultListManager
+
+            implementation = self._implementation()
+            if implementation is None:
+                raise RuntimeError("cached implementation was garbage "
+                                   "collected")
+            stats.fault_list_misses += 1
+            self._fault_lists[mode] = \
+                FaultListManager(implementation).build(mode)
+        else:
+            stats.fault_list_hits += 1
+        return self._fault_lists[mode]
+
+    def golden(self, compiled: CompiledDesign,
+               stimulus: Sequence[Dict[str, int]], stats: CacheStats
+               ) -> Tuple[SimulationTrace, object]:
+        key = stimulus_key(stimulus)
+        if key not in self._golden:
+            stats.golden_misses += 1
+            simulator = Simulator(compiled)
+            trace = simulator.run(list(stimulus), record_nets=True)
+            self._golden[key] = (trace, simulator.program)
+            while len(self._golden) > MAX_GOLDEN_PER_ENTRY:
+                self._golden.popitem(last=False)
+        else:
+            stats.golden_hits += 1
+        self._golden.move_to_end(key)
+        return self._golden[key]
+
+    def effect_of_bit(self, bit: int, modeler,
+                      stats: CacheStats) -> "FaultEffect":
+        # The modeler comes from the calling campaign context (it holds a
+        # strong reference to the implementation; keeping one here would
+        # defeat this entry's weakref design).
+        effect = self._effects.get(bit)
+        if effect is None:
+            stats.effect_misses += 1
+            effect = modeler.effect_of_bit(bit)
+            self._effects[bit] = effect
+        else:
+            stats.effect_hits += 1
+        return effect
+
+    def cone(self, seed_nets: Sequence[int], compiled: CompiledDesign,
+             stats: CacheStats) -> FaultCone:
+        key = tuple(seed_nets)
+        cone = self._cones.get(key)
+        if cone is None:
+            stats.cone_misses += 1
+            cone = compiled.fault_cone(seed_nets)
+            self._cones[key] = cone
+        else:
+            stats.cone_hits += 1
+        return cone
+
+
+class CampaignCache:
+    """LRU cache of :class:`CampaignCacheEntry` keyed by fingerprint."""
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[str, CampaignCacheEntry]" = OrderedDict()
+
+    @staticmethod
+    def fingerprint_of(implementation: Implementation) -> str:
+        # Recomputed on every lookup (hashing the bitstream is a few
+        # hundred microseconds, campaigns are hundreds of milliseconds):
+        # a caller that mutates the bitstream between campaigns must get a
+        # fresh cache entry, never stale memoized effects.
+        return implementation_fingerprint(implementation)
+
+    def entry_for(self, implementation: Implementation) -> CampaignCacheEntry:
+        fingerprint = self.fingerprint_of(implementation)
+        entry = self._entries.get(fingerprint)
+        if entry is None or entry._implementation() is None:
+            entry = CampaignCacheEntry(fingerprint, implementation)
+            self._entries[fingerprint] = entry
+        self._entries.move_to_end(fingerprint)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return entry
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: Process-wide cache shared by every campaign run with ``use_cache=True``.
+_GLOBAL_CACHE = CampaignCache()
+
+
+def get_cache() -> CampaignCache:
+    """The process-wide campaign cache."""
+    return _GLOBAL_CACHE
+
+
+def clear_cache() -> None:
+    """Drop every cached artefact and reset the hit/miss statistics."""
+    _GLOBAL_CACHE.clear()
+
+
+def cache_stats() -> Dict[str, int]:
+    """Hit/miss counters of the process-wide cache."""
+    return _GLOBAL_CACHE.stats.as_dict()
+
+
+def configure_cache(max_entries: int) -> None:
+    """Resize the process-wide cache (evicts immediately if shrinking)."""
+    _GLOBAL_CACHE.max_entries = max_entries
+    while len(_GLOBAL_CACHE._entries) > max_entries:
+        _GLOBAL_CACHE._entries.popitem(last=False)

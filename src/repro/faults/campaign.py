@@ -1,9 +1,17 @@
 """Fault-injection campaigns: the experiment of the paper's Tables 3 and 4.
 
 A campaign takes one implemented design, builds its fault list, samples a
-configurable number of bits, injects them one at a time and aggregates the
-results: the fraction of upsets producing wrong answers (Table 3) and the
-breakdown of error-causing upsets by effect category (Table 4).
+configurable number of bits, evaluates them through a pluggable execution
+backend (see :mod:`repro.faults.engine`) and aggregates the results: the
+fraction of upsets producing wrong answers (Table 3) and the breakdown of
+error-causing upsets by effect category (Table 4).
+
+``run_campaign`` keeps its historical signature; the ``backend=`` knob
+selects the execution strategy (``"serial"`` — the seed semantics and the
+default, ``"batch"`` — shared simulator programs per overlay signature,
+``"process"`` — sharded ``multiprocessing`` workers) and ``use_cache=``
+controls the golden-trace / fault-effect cache (:mod:`repro.faults.cache`).
+All backends produce bit-identical aggregates for the same seed.
 """
 
 from __future__ import annotations
@@ -17,8 +25,11 @@ from ..sim.compile import CompiledDesign
 from ..sim.vectors import campaign_workload, stimulus_from_samples, \
     tmr_stimulus_from_samples
 from . import categories
-from .fault_list import FaultList, FaultListManager
-from .injector import FaultInjectionManager, FaultResult
+from .cache import get_cache
+from .engine import (BackendLike, CampaignContext, ProgressCallback,
+                     resolve_backend)
+from .fault_list import FaultListManager
+from .injector import FaultResult
 
 
 @dataclasses.dataclass
@@ -62,12 +73,20 @@ class CampaignResult:
     results: List[FaultResult]
     by_category: Dict[str, CategoryCount]
     duration_seconds: float
+    #: name of the execution backend that evaluated the campaign
+    backend: str = "serial"
 
     @property
     def wrong_answer_percent(self) -> float:
         if not self.injected:
             return 0.0
         return 100.0 * self.wrong_answers / self.injected
+
+    @property
+    def faults_per_second(self) -> float:
+        if self.duration_seconds <= 0:
+            return 0.0
+        return self.injected / self.duration_seconds
 
     def effect_table(self) -> Dict[str, int]:
         """Error-causing upsets per category (one column of Table 4)."""
@@ -89,23 +108,30 @@ def default_stimulus(implementation: Implementation,
 
     TMR designs expose triplicated data inputs (``DIN_tr0`` ...); the same
     sample stream is applied to all three copies, as the three domains share
-    the external signal in the paper's setup.
+    the external signal in the paper's setup.  Ports are scanned in sorted
+    order and the *first* sorted data port (or first ``_tr0`` port) drives
+    the workload — deliberately replacing the seed's insertion-order
+    dependent pick, which could land on an arbitrary late port for
+    multi-input designs.
     """
     ports = implementation.design.ports
-    data_ports = [name for name in ports
-                  if ports[name].direction.value == "input"
-                  and not name.upper().startswith("CLK")]
+    data_ports = sorted(name for name in ports
+                        if ports[name].direction.value == "input"
+                        and not name.upper().startswith("CLK"))
+    if not data_ports:
+        return [{} for _ in range(config.workload_cycles)]
     tmr_style = any(name.endswith("_tr0") for name in data_ports)
     base_port = None
-    for name in data_ports:
-        if name.endswith("_tr0"):
-            base_port = name[:-4]
-            width = ports[name].width
-            break
-        base_port = name
-        width = ports[name].width
+    width = 0
+    if tmr_style:
+        for name in data_ports:
+            if name.endswith("_tr0"):
+                base_port = name[:-4]
+                width = ports[name].width
+                break
     if base_port is None:
-        return [{} for _ in range(config.workload_cycles)]
+        base_port = data_ports[0]
+        width = ports[base_port].width
     samples = campaign_workload(width, config.workload_cycles,
                                 config.workload_seed)
     if tmr_style:
@@ -118,39 +144,51 @@ def run_campaign(implementation: Implementation,
                  compiled: Optional[CompiledDesign] = None,
                  stimulus: Optional[Sequence[Dict[str, int]]] = None,
                  fault_bits: Optional[Sequence[int]] = None,
-                 progress: Optional[callable] = None) -> CampaignResult:
+                 progress: Optional[ProgressCallback] = None,
+                 backend: BackendLike = None,
+                 use_cache: bool = True) -> CampaignResult:
     """Run one fault-injection campaign on an implemented design."""
     config = config if config is not None else CampaignConfig()
-    compiled = compiled if compiled is not None \
-        else CompiledDesign(implementation.design)
-    stimulus = list(stimulus) if stimulus is not None \
-        else default_stimulus(implementation, config)
-
+    engine = resolve_backend(backend)
     start = time.time()
-    manager = FaultListManager(implementation)
-    fault_list = manager.build(config.fault_list_mode)
+
+    cache_entry = get_cache().entry_for(implementation) if use_cache else None
+    if use_cache:
+        stats = get_cache().stats
+    else:
+        stats = None
+    context = CampaignContext(
+        implementation, compiled=compiled,
+        stimulus=list(stimulus) if stimulus is not None
+        else default_stimulus(implementation, config),
+        skip_cycles=config.skip_cycles,
+        cache_entry=cache_entry, stats=stats)
+
+    if cache_entry is not None:
+        fault_list = cache_entry.fault_list(config.fault_list_mode,
+                                            context.stats)
+    else:
+        fault_list = FaultListManager(implementation).build(
+            config.fault_list_mode)
     if fault_bits is None:
         count = config.num_faults if config.num_faults is not None else \
             max(1, int(len(fault_list) * config.sample_fraction))
         fault_bits = fault_list.sample(count, config.seed)
 
-    injector = FaultInjectionManager(implementation, compiled, stimulus,
-                                     skip_cycles=config.skip_cycles)
+    tasks = context.tasks_for(fault_bits)
+    verdicts = engine.run(context, tasks, progress)
 
     results: List[FaultResult] = []
     by_category: Dict[str, CategoryCount] = {
         category: CategoryCount() for category in categories.TABLE4_ORDER}
     wrong_answers = 0
-    for index, bit in enumerate(fault_bits):
-        result = injector.inject(bit)
-        results.append(result)
-        bucket = by_category.setdefault(result.category, CategoryCount())
+    for verdict in verdicts:
+        results.append(verdict.to_result())
+        bucket = by_category.setdefault(verdict.category, CategoryCount())
         bucket.injected += 1
-        if result.wrong_answer:
+        if verdict.wrong_answer:
             bucket.wrong += 1
             wrong_answers += 1
-        if progress is not None and (index + 1) % 250 == 0:
-            progress(index + 1, len(fault_bits))
 
     return CampaignResult(
         design=implementation.design.name,
@@ -161,16 +199,20 @@ def run_campaign(implementation: Implementation,
         results=results,
         by_category=by_category,
         duration_seconds=time.time() - start,
+        backend=engine.name,
     )
 
 
 def run_campaigns(implementations: Dict[str, Implementation],
                   config: Optional[CampaignConfig] = None,
-                  progress: Optional[callable] = None
-                  ) -> Dict[str, CampaignResult]:
+                  progress: Optional[ProgressCallback] = None,
+                  backend: BackendLike = None,
+                  use_cache: bool = True) -> Dict[str, CampaignResult]:
     """Run the same campaign over several designs (the five filter versions)."""
+    engine = resolve_backend(backend)
     results: Dict[str, CampaignResult] = {}
     for name, implementation in implementations.items():
         results[name] = run_campaign(implementation, config,
-                                     progress=progress)
+                                     progress=progress, backend=engine,
+                                     use_cache=use_cache)
     return results

@@ -1,0 +1,457 @@
+"""Campaign execution engine: pluggable backends over pure fault units.
+
+A fault-injection campaign is a batch workload: an immutable golden
+reference (the fault-free device), a list of independent single-bit upsets,
+and one verdict per upset.  This module splits that workload into pure,
+picklable units and executes them behind interchangeable backends:
+
+* :class:`FaultTask` — one sampled configuration bit together with its
+  modelled :class:`~repro.faults.models.FaultEffect`;
+* :class:`FaultVerdict` — the classified outcome of evaluating one task;
+* :class:`CampaignContext` — the shared immutable context (implementation,
+  compiled design, stimulus, golden trace) plus memoized derived artefacts,
+  optionally backed by the process-wide :mod:`repro.faults.cache`;
+* :class:`ExecutionBackend` — the strategy interface, with three
+  implementations:
+
+  - :class:`SerialBackend` — one task at a time, the seed semantics;
+  - :class:`BatchBackend` — groups tasks whose overlays patch the simulator
+    program identically and reuses one prepared program per group (opens on
+    one net, and the large population of upsets that leave the gate program
+    untouched, all share programs);
+  - :class:`ProcessPoolBackend` — shards the task list across
+    ``multiprocessing`` workers; each worker holds the compiled design once
+    and streams verdicts back.
+
+Every backend must produce bit-identical campaign aggregates for the same
+sampled fault list — the equivalence is enforced by the test suite.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+import os
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..pnr.flow import Implementation
+from ..sim.compile import CompiledDesign, FaultCone
+from ..sim.golden import compare_traces
+from ..sim.simulator import SimulationTrace, Simulator
+from .cache import CacheStats, CampaignCacheEntry
+from .injector import FaultResult
+from .models import FaultEffect, FaultModeler
+
+#: ``progress(done, total)`` callback signature shared by the engine API.
+ProgressCallback = Callable[[int, int], None]
+
+#: How often (in completed faults) the progress callback fires.
+PROGRESS_INTERVAL = 250
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultTask:
+    """One unit of campaign work: a sampled bit and its modelled effect."""
+
+    index: int
+    bit: int
+    effect: FaultEffect
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultVerdict:
+    """The classified outcome of one evaluated fault task."""
+
+    index: int
+    bit: int
+    resource_kind: str
+    category: str
+    has_effect: bool
+    wrong_answer: bool
+    first_mismatch_cycle: Optional[int]
+    detail: str = ""
+
+    def to_result(self) -> FaultResult:
+        """The campaign-level record (backward-compatible surface)."""
+        return FaultResult(
+            bit=self.bit,
+            resource_kind=self.resource_kind,
+            category=self.category,
+            has_effect=self.has_effect,
+            wrong_answer=self.wrong_answer,
+            first_mismatch_cycle=self.first_mismatch_cycle,
+            detail=self.detail,
+        )
+
+
+def program_signature(effect: FaultEffect) -> Tuple:
+    """Identity of the simulator-program modifications of one overlay.
+
+    Two overlays with the same signature patch the identical program
+    entries, so their faults can share one prepared gate program.
+    """
+    overlay = effect.overlay
+    return (tuple(sorted(overlay.lut_init_overrides.items())),
+            tuple(sorted(overlay.gate_pin_overrides.items())))
+
+
+class CampaignContext:
+    """Shared, read-only context of one campaign plus memoized artefacts.
+
+    When *cache_entry* is provided, golden traces, fault effects and fault
+    cones are read through (and stored into) the process-wide campaign
+    cache; otherwise the context keeps private memos for the duration of
+    the campaign.
+    """
+
+    def __init__(self, implementation: Implementation,
+                 compiled: Optional[CompiledDesign] = None,
+                 stimulus: Optional[Sequence[Dict[str, int]]] = None,
+                 skip_cycles: int = 0,
+                 output_ports: Optional[Sequence[str]] = None,
+                 cache_entry: Optional[CampaignCacheEntry] = None,
+                 stats: Optional[CacheStats] = None) -> None:
+        self.implementation = implementation
+        self.cache_entry = cache_entry
+        self.stats = stats if stats is not None else CacheStats()
+        if compiled is None:
+            if cache_entry is not None:
+                compiled = cache_entry.compiled_design(self.stats)
+            else:
+                compiled = CompiledDesign(implementation.design)
+        elif cache_entry is not None:
+            compiled = cache_entry.compiled_design(self.stats, compiled)
+        self.compiled = compiled
+        self.stimulus = list(stimulus) if stimulus is not None else []
+        self.skip_cycles = skip_cycles
+        self.output_ports = list(output_ports) if output_ports else None
+        self._modeler: Optional[FaultModeler] = None
+        self._golden: Optional[SimulationTrace] = None
+        self._base_program = None
+        self._local_cones: Dict[Tuple[int, ...], FaultCone] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def modeler(self) -> FaultModeler:
+        if self._modeler is None:
+            self._modeler = FaultModeler(self.implementation, self.compiled)
+        return self._modeler
+
+    def detached(self) -> "CampaignContext":
+        """A picklable clone without the process-wide cache attached.
+
+        Cache entries hold weak references (unpicklable), so worker
+        processes created under the ``spawn`` start method receive this
+        detached copy; the golden trace and base program travel with it.
+        """
+        clone = CampaignContext(
+            self.implementation, compiled=self.compiled,
+            stimulus=self.stimulus, skip_cycles=self.skip_cycles,
+            output_ports=self.output_ports)
+        self._ensure_golden()
+        clone._golden = self._golden
+        clone._base_program = self._base_program
+        return clone
+
+    def prepare(self) -> None:
+        """Force the golden trace and base program into existence."""
+        self._ensure_golden()
+
+    def _ensure_golden(self) -> None:
+        if self._golden is not None:
+            return
+        if self.cache_entry is not None:
+            self._golden, self._base_program = self.cache_entry.golden(
+                self.compiled, self.stimulus, self.stats)
+        else:
+            simulator = Simulator(self.compiled)
+            self._golden = simulator.run(self.stimulus, record_nets=True)
+            self._base_program = simulator.program
+
+    @property
+    def golden(self) -> SimulationTrace:
+        self._ensure_golden()
+        return self._golden
+
+    @property
+    def base_program(self):
+        """The overlay-free gate program shared by every faulty run."""
+        self._ensure_golden()
+        return self._base_program
+
+    # ------------------------------------------------------------------
+    def effect_of_bit(self, bit: int) -> FaultEffect:
+        if self.cache_entry is not None:
+            return self.cache_entry.effect_of_bit(bit, self.modeler,
+                                                  self.stats)
+        return self.modeler.effect_of_bit(bit)
+
+    def tasks_for(self, fault_bits: Sequence[int]) -> List[FaultTask]:
+        """Model every sampled bit into an executable task list."""
+        return [FaultTask(index, bit, self.effect_of_bit(bit))
+                for index, bit in enumerate(fault_bits)]
+
+    def cone_for(self, effect: FaultEffect) -> Optional[FaultCone]:
+        seed_nets = effect.overlay.seed_nets
+        if not seed_nets:
+            return None
+        if self.cache_entry is not None:
+            return self.cache_entry.cone(seed_nets, self.compiled,
+                                         self.stats)
+        key = tuple(seed_nets)
+        cone = self._local_cones.get(key)
+        if cone is None:
+            self.stats.cone_misses += 1
+            cone = self.compiled.fault_cone(seed_nets)
+            self._local_cones[key] = cone
+        else:
+            self.stats.cone_hits += 1
+        return cone
+
+    # ------------------------------------------------------------------
+    def evaluate(self, task: FaultTask,
+                 simulator: Optional[Simulator] = None) -> FaultVerdict:
+        """Evaluate one task against the golden reference."""
+        effect = task.effect
+        resource_kind = effect.resource[0]
+        if not effect.has_effect:
+            return FaultVerdict(
+                index=task.index,
+                bit=task.bit,
+                resource_kind=resource_kind,
+                category=effect.category,
+                has_effect=False,
+                wrong_answer=False,
+                first_mismatch_cycle=None,
+                detail=effect.detail,
+            )
+        cone = self.cone_for(effect)
+        if simulator is None:
+            simulator = Simulator(self.compiled, effect.overlay,
+                                  base_program=self.base_program)
+        if cone is not None:
+            trace = simulator.run(self.stimulus, golden=self.golden,
+                                  cone=cone)
+        else:
+            trace = simulator.run(self.stimulus)
+        comparison = compare_traces(trace, self.golden,
+                                    ports=self.output_ports,
+                                    skip_cycles=self.skip_cycles)
+        return FaultVerdict(
+            index=task.index,
+            bit=task.bit,
+            resource_kind=resource_kind,
+            category=effect.category,
+            has_effect=True,
+            wrong_answer=comparison.wrong_answer,
+            first_mismatch_cycle=comparison.first_mismatch_cycle,
+            detail=effect.detail,
+        )
+
+
+class ExecutionBackend(abc.ABC):
+    """Strategy interface: evaluate a task list within a campaign context."""
+
+    #: registry name, also used in reports
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def run(self, context: CampaignContext, tasks: Sequence[FaultTask],
+            progress: Optional[ProgressCallback] = None
+            ) -> List[FaultVerdict]:
+        """Evaluate *tasks*, returning verdicts in task order."""
+
+    @staticmethod
+    def _tick(progress: Optional[ProgressCallback], done: int,
+              total: int) -> None:
+        if progress is not None and done % PROGRESS_INTERVAL == 0:
+            progress(done, total)
+
+
+class SerialBackend(ExecutionBackend):
+    """One fault at a time — the seed campaign loop, factored out."""
+
+    name = "serial"
+
+    def run(self, context: CampaignContext, tasks: Sequence[FaultTask],
+            progress: Optional[ProgressCallback] = None
+            ) -> List[FaultVerdict]:
+        context.prepare()
+        verdicts: List[FaultVerdict] = []
+        total = len(tasks)
+        for done, task in enumerate(tasks, start=1):
+            verdicts.append(context.evaluate(task))
+            self._tick(progress, done, total)
+        return verdicts
+
+
+class BatchBackend(ExecutionBackend):
+    """Group faults by program signature, one prepared simulator per group.
+
+    The simulator program only depends on an overlay's LUT-INIT and
+    gate-pin overrides; faults sharing that signature (repeated opens on
+    one route, and the large population of flip-flop / net / output-level
+    upsets whose programs are untouched) reuse one prepared program instead
+    of re-deriving it per fault.
+    """
+
+    name = "batch"
+
+    def run(self, context: CampaignContext, tasks: Sequence[FaultTask],
+            progress: Optional[ProgressCallback] = None
+            ) -> List[FaultVerdict]:
+        context.prepare()
+        groups: Dict[Tuple, List[FaultTask]] = {}
+        for task in tasks:
+            groups.setdefault(program_signature(task.effect),
+                              []).append(task)
+
+        verdicts: List[Optional[FaultVerdict]] = [None] * len(tasks)
+        total = len(tasks)
+        done = 0
+        for group in groups.values():
+            shared_program = None
+            for task in group:
+                simulator = None
+                if task.effect.has_effect:
+                    if shared_program is None:
+                        simulator = Simulator(
+                            context.compiled, task.effect.overlay,
+                            base_program=context.base_program)
+                        shared_program = simulator.program
+                    else:
+                        simulator = Simulator(context.compiled,
+                                              task.effect.overlay,
+                                              program=shared_program)
+                verdicts[task.index] = context.evaluate(task, simulator)
+                done += 1
+                self._tick(progress, done, total)
+        return [verdict for verdict in verdicts if verdict is not None]
+
+
+# ----------------------------------------------------------------------
+# Process-pool backend.  Workers are primed through a fork-inherited (or,
+# under spawn, pickled) context; already-modelled tasks travel in shards
+# and verdicts stream back through the result queue.
+_WORKER_CONTEXT: Optional[CampaignContext] = None
+
+
+def _init_worker(context: CampaignContext) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = context
+    context.prepare()
+
+
+def _run_shard(shard: List[FaultTask]) -> List[FaultVerdict]:
+    context = _WORKER_CONTEXT
+    assert context is not None, "worker used before initialization"
+    return [context.evaluate(task) for task in shard]
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Shard the sampled fault list across ``multiprocessing`` workers.
+
+    Each worker receives the campaign context once (inherited on fork,
+    pickled on spawn), holds the compiled design and golden reference,
+    then evaluates shards of already-modelled :class:`FaultTask`s and
+    streams verdicts back.  Verdict order — and therefore every campaign
+    aggregate — is independent of the scheduling, so results are
+    bit-identical to the serial backend.
+    """
+
+    name = "process"
+
+    def __init__(self, processes: Optional[int] = None,
+                 shard_size: Optional[int] = None) -> None:
+        self.processes = processes
+        self.shard_size = shard_size
+
+    def _process_count(self, num_tasks: int) -> int:
+        if self.processes is not None:
+            return max(1, self.processes)
+        return max(1, min(os.cpu_count() or 1, num_tasks))
+
+    def run(self, context: CampaignContext, tasks: Sequence[FaultTask],
+            progress: Optional[ProgressCallback] = None
+            ) -> List[FaultVerdict]:
+        import multiprocessing
+
+        processes = self._process_count(len(tasks))
+        if not tasks or processes == 1:
+            # Degrading to the serial path must be visible in reports
+            # (benchmarks attribute faults/sec to the backend name).
+            self.name = "process:serial-fallback"
+            return SerialBackend().run(context, tasks, progress)
+        self.name = ProcessPoolBackend.name
+
+        try:
+            mp_context = multiprocessing.get_context("fork")
+        except ValueError:
+            mp_context = multiprocessing.get_context()
+
+        # Compute the golden reference before the workers start so they
+        # inherit it (fork) or receive it pickled (spawn) instead of each
+        # re-simulating it.  Under spawn the context must not carry the
+        # process-wide cache entry (weak references are unpicklable).
+        context.prepare()
+        worker_context = context
+        if mp_context.get_start_method() != "fork":
+            worker_context = context.detached()
+
+        shard_size = self.shard_size or max(
+            1, (len(tasks) + 4 * processes - 1) // (4 * processes))
+        task_list = list(tasks)
+        shards = [task_list[start:start + shard_size]
+                  for start in range(0, len(task_list), shard_size)]
+
+        verdicts: List[Optional[FaultVerdict]] = [None] * len(tasks)
+        total = len(tasks)
+        done = 0
+        with mp_context.Pool(processes=processes, initializer=_init_worker,
+                             initargs=(worker_context,)) as pool:
+            for shard_verdicts in pool.imap(_run_shard, shards):
+                for verdict in shard_verdicts:
+                    verdicts[verdict.index] = verdict
+                    done += 1
+                    self._tick(progress, done, total)
+        return [verdict for verdict in verdicts if verdict is not None]
+
+
+#: Registry of backend names accepted by the ``backend=`` knob.
+BACKENDS = {
+    SerialBackend.name: SerialBackend,
+    BatchBackend.name: BatchBackend,
+    ProcessPoolBackend.name: ProcessPoolBackend,
+    # convenience aliases
+    "processpool": ProcessPoolBackend,
+    "pool": ProcessPoolBackend,
+}
+
+#: The documented backend names, for CLI ``choices=`` (the registry also
+#: accepts aliases, but they are not part of the public surface).
+BACKEND_CHOICES = (SerialBackend.name, BatchBackend.name,
+                   ProcessPoolBackend.name)
+
+BackendLike = Union[None, str, ExecutionBackend]
+
+
+def resolve_backend(backend: BackendLike = None) -> ExecutionBackend:
+    """Normalize the ``backend=`` knob into an :class:`ExecutionBackend`.
+
+    Accepts ``None`` (serial, the seed semantics), a registry name, a
+    backend class or a ready instance.
+    """
+    if backend is None:
+        return SerialBackend()
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    if isinstance(backend, type) and issubclass(backend, ExecutionBackend):
+        return backend()
+    if isinstance(backend, str):
+        key = backend.strip().lower()
+        if key in BACKENDS:
+            return BACKENDS[key]()
+        raise ValueError(f"unknown campaign backend {backend!r}; choose "
+                         f"from {sorted(set(BACKENDS))}")
+    raise TypeError(f"backend must be None, a name or an ExecutionBackend, "
+                    f"got {type(backend).__name__}")

@@ -11,14 +11,12 @@ the golden device's.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
-from ..fpga.config import Resource
 from ..pnr.flow import Implementation
 from ..sim.compile import CompiledDesign
-from ..sim.golden import compare_traces
-from ..sim.simulator import SimulationTrace, Simulator
-from .models import FaultEffect, FaultModeler
+from ..sim.simulator import SimulationTrace
+from .models import FaultEffect
 
 
 @dataclasses.dataclass
@@ -39,23 +37,34 @@ class FaultResult:
 
 
 class FaultInjectionManager:
-    """Runs single-fault experiments against a golden reference."""
+    """Runs single-fault experiments against a golden reference.
+
+    The evaluation itself lives in :class:`repro.faults.engine.
+    CampaignContext`; this manager remains the one-fault-at-a-time surface
+    (and keeps the paper-faithful step of flipping the bit in a copy of the
+    bitstream, even though the simulator consumes the overlay).
+    """
 
     def __init__(self, implementation: Implementation,
                  compiled: CompiledDesign,
                  stimulus: Sequence[Dict[str, int]],
                  output_ports: Optional[Sequence[str]] = None,
                  skip_cycles: int = 0) -> None:
+        from .engine import CampaignContext
+
         self.implementation = implementation
         self.compiled = compiled
         self.stimulus = list(stimulus)
         self.output_ports = list(output_ports) if output_ports else None
         self.skip_cycles = skip_cycles
-        self.modeler = FaultModeler(implementation, compiled)
+        self.context = CampaignContext(
+            implementation, compiled, self.stimulus,
+            skip_cycles=skip_cycles, output_ports=self.output_ports)
+        self.modeler = self.context.modeler
         #: the golden device run: full simulation with every net recorded so
         #: that faulty runs can be confined to the fault's fan-out cone
-        self.golden: SimulationTrace = Simulator(compiled).run(
-            self.stimulus, record_nets=True)
+        self.context.prepare()
+        self.golden: SimulationTrace = self.context.golden
 
     # --------------------------------------------------------------
     def golden_outputs(self) -> SimulationTrace:
@@ -72,40 +81,13 @@ class FaultInjectionManager:
 
     # --------------------------------------------------------------
     def _evaluate(self, effect: FaultEffect) -> FaultResult:
-        resource_kind = effect.resource[0]
-        if not effect.has_effect:
-            return FaultResult(
-                bit=effect.bit,
-                resource_kind=resource_kind,
-                category=effect.category,
-                has_effect=False,
-                wrong_answer=False,
-                first_mismatch_cycle=None,
-                detail=effect.detail,
-            )
+        from .engine import FaultTask
 
-        # The faulty bitstream: flip the bit in a copy (kept faithful to the
-        # paper's flow even though the simulator consumes the overlay).
-        faulty_bitstream = self.implementation.bitstream.copy()
-        faulty_bitstream.flip_bit(effect.bit)
-
-        cone = self.compiled.fault_cone(effect.overlay.seed_nets) \
-            if effect.overlay.seed_nets else None
-        simulator = Simulator(self.compiled, effect.overlay)
-        if cone is not None:
-            trace = simulator.run(self.stimulus, golden=self.golden,
-                                  cone=cone)
-        else:
-            trace = simulator.run(self.stimulus)
-        comparison = compare_traces(trace, self.golden,
-                                    ports=self.output_ports,
-                                    skip_cycles=self.skip_cycles)
-        return FaultResult(
-            bit=effect.bit,
-            resource_kind=resource_kind,
-            category=effect.category,
-            has_effect=True,
-            wrong_answer=comparison.wrong_answer,
-            first_mismatch_cycle=comparison.first_mismatch_cycle,
-            detail=effect.detail,
-        )
+        if effect.has_effect:
+            # The faulty bitstream: flip the bit in a copy (kept faithful to
+            # the paper's flow even though the simulator consumes the
+            # overlay).
+            faulty_bitstream = self.implementation.bitstream.copy()
+            faulty_bitstream.flip_bit(effect.bit)
+        task = FaultTask(index=-1, bit=effect.bit, effect=effect)
+        return self.context.evaluate(task).to_result()

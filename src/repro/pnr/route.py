@@ -425,7 +425,10 @@ class Router:
         best_cost: Dict[Node, float] = {}
         frontier: List[Tuple[float, float, int, Node]] = []
         counter = 0
-        for node in tree_nodes:
+        # Seed in sorted order: tree_nodes is a set of string-bearing
+        # tuples, so raw iteration order follows the per-process hash seed
+        # and equal-cost heap pops would pick different paths run to run.
+        for node in sorted(tree_nodes):
             came_from[node] = None
             best_cost[node] = 0.0
             heapq.heappush(frontier, (heuristic(node), 0.0, counter, node))
@@ -499,11 +502,15 @@ def route_design(definition: Definition, pack_result: PackResult,
     pip_owner: Dict[Pip, str] = {}
     wirelength = 0
     for name, tree in trees.items():
-        for node in tree.nodes():
+        # nodes()/pips() are sets of string-bearing tuples; sort so the
+        # ownership dictionaries (and everything downstream of their
+        # iteration order, e.g. fault-list construction) never depend on
+        # the per-process hash seed.
+        for node in sorted(tree.nodes()):
             node_owner[node] = name
             if node[0] == "wire":
                 wirelength += 1
-        for pip in tree.pips():
+        for pip in sorted(tree.pips()):
             pip_owner[pip] = name
 
     return RoutingResult(

@@ -85,6 +85,13 @@ class CompiledDesign:
         self.clock_nets: List[int] = []
         self.gate_index_by_name: Dict[str, int] = {}
         self.ff_index_by_name: Dict[str, int] = {}
+        #: lazily built fan-out adjacency (net -> sink gates / flip-flops and
+        #: net -> driving gates / flip-flops), shared by every fault-cone
+        #: computation on this design
+        self._fanout_maps: Optional[Tuple[Dict[int, List[int]],
+                                          Dict[int, List[int]],
+                                          Dict[int, List[int]],
+                                          Dict[int, List[int]]]] = None
         self._build()
 
     # ------------------------------------------------------------------
@@ -217,6 +224,32 @@ class CompiledDesign:
         self.ff_index_by_name[instance.name] = flip_flop.index
 
     # ------------------------------------------------------------------
+    def _fanout(self) -> Tuple[Dict[int, List[int]], Dict[int, List[int]],
+                               Dict[int, List[int]], Dict[int, List[int]]]:
+        """Net fan-out / driver adjacency, built once per compiled design."""
+        if self._fanout_maps is None:
+            sink_gates: Dict[int, List[int]] = {}
+            driver_gates: Dict[int, List[int]] = {}
+            for gate in self.gates:
+                for net in gate.input_nets:
+                    sink_gates.setdefault(net, []).append(gate.index)
+                if gate.output_net >= 0:
+                    driver_gates.setdefault(gate.output_net,
+                                            []).append(gate.index)
+            ff_sinks: Dict[int, List[int]] = {}
+            driver_ffs: Dict[int, List[int]] = {}
+            for flip_flop in self.flip_flops:
+                for net in (flip_flop.d_net, flip_flop.ce_net,
+                            flip_flop.reset_net):
+                    if net >= 0:
+                        ff_sinks.setdefault(net, []).append(flip_flop.index)
+                if flip_flop.q_net >= 0:
+                    driver_ffs.setdefault(flip_flop.q_net,
+                                          []).append(flip_flop.index)
+            self._fanout_maps = (sink_gates, ff_sinks, driver_gates,
+                                 driver_ffs)
+        return self._fanout_maps
+
     def fault_cone(self, net_indices: Sequence[int]) -> "FaultCone":
         """Transitive fan-out closure of a seed set of nets.
 
@@ -225,16 +258,7 @@ class CompiledDesign:
         cone" when re-simulating a fault against stored golden values: any
         gate or flip-flop outside the cone provably keeps its golden value.
         """
-        sink_gates: Dict[int, List[int]] = {}
-        for gate in self.gates:
-            for net in gate.input_nets:
-                sink_gates.setdefault(net, []).append(gate.index)
-        ff_sinks: Dict[int, List[int]] = {}
-        for flip_flop in self.flip_flops:
-            for net in (flip_flop.d_net, flip_flop.ce_net,
-                        flip_flop.reset_net):
-                if net >= 0:
-                    ff_sinks.setdefault(net, []).append(flip_flop.index)
+        sink_gates, ff_sinks, driver_gates, driver_ffs = self._fanout()
 
         seen_nets = set()
         seen_gates = set()
@@ -244,13 +268,9 @@ class CompiledDesign:
         # The drivers of the seed nets themselves must be re-evaluated: a LUT
         # whose INIT is corrupted, or a flip-flop whose initial value is
         # flipped, seeds the cone through its *output* net.
-        seed_set = set(stack)
-        for gate in self.gates:
-            if gate.output_net in seed_set:
-                seen_gates.add(gate.index)
-        for flip_flop in self.flip_flops:
-            if flip_flop.q_net in seed_set:
-                seen_ffs.add(flip_flop.index)
+        for net in stack:
+            seen_gates.update(driver_gates.get(net, ()))
+            seen_ffs.update(driver_ffs.get(net, ()))
         while stack:
             net = stack.pop()
             if net in seen_nets:

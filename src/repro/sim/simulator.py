@@ -55,16 +55,56 @@ class SimulationTrace:
 
 
 class Simulator:
-    """Executes a compiled design, optionally under a fault overlay."""
+    """Executes a compiled design, optionally under a fault overlay.
+
+    Building the per-gate evaluation program is O(gates); fault-injection
+    campaigns construct one simulator per fault, so two reuse paths exist:
+
+    * *base_program* — the program of an overlay-free simulator on the same
+      design; only the entries touched by this overlay's LUT-INIT and
+      gate-pin overrides are rebuilt (O(overlay) instead of O(gates));
+    * *program* — a fully prepared program, shared verbatim between faults
+      whose overlays patch the identical set of gates (the batch backend
+      groups faults by that signature).
+    """
 
     def __init__(self, design: CompiledDesign,
-                 overlay: Optional[FaultOverlay] = None) -> None:
+                 overlay: Optional[FaultOverlay] = None,
+                 base_program=None, program=None) -> None:
         self.design = design
         self.overlay = overlay if overlay is not None else FaultOverlay()
-        self._gate_program = self._build_program()
+        if program is not None:
+            self._gate_program = program
+        elif base_program is not None:
+            self._gate_program = self._patch_program(base_program)
+        else:
+            self._gate_program = self._build_program()
         self._passes = self.overlay.required_passes()
 
+    @property
+    def program(self):
+        """The resolved per-gate evaluation program (shareable, read-only)."""
+        return self._gate_program
+
     # ------------------------------------------------------------------
+    def _patch_program(self, base_program):
+        """Rebuild only the program entries this overlay touches."""
+        overlay = self.overlay
+        touched = set(overlay.lut_init_overrides)
+        touched.update(index for index, _pos in overlay.gate_pin_overrides)
+        if not touched:
+            return base_program
+        program = list(base_program)
+        for index in touched:
+            gate = self.design.gates[index]
+            init = overlay.lut_init_overrides.get(index, gate.init)
+            pins = tuple(
+                (net, overlay.gate_pin_overrides.get((index, position)))
+                for position, net in enumerate(gate.input_nets))
+            program[index] = (gate.kind, init, pins, gate.output_net,
+                              gate.index)
+        return program
+
     def _build_program(self):
         """Pre-resolve per-gate evaluation records with overlay applied."""
         program = []

@@ -1,0 +1,259 @@
+"""Tests for the campaign execution engine and the golden-trace cache.
+
+The invariant the engine refactor must preserve: every backend produces
+bit-identical campaign aggregates (wrong-answer percentages, Table 4
+category counts, per-fault records) for the same sampled fault list.
+"""
+
+import pickle
+
+import pytest
+
+from repro.faults import (BatchBackend, CampaignConfig, ExecutionBackend,
+                          FaultTask, FaultVerdict, ProcessPoolBackend,
+                          SerialBackend, cache_stats, clear_cache,
+                          default_stimulus, get_cache,
+                          implementation_fingerprint, program_signature,
+                          resolve_backend, run_campaign, run_campaigns)
+
+CONFIG = CampaignConfig(num_faults=120, workload_cycles=6, seed=9)
+
+#: instances so the process backend actually forks even on a 1-CPU box
+BACKENDS_UNDER_TEST = [
+    pytest.param(lambda: SerialBackend(), id="serial"),
+    pytest.param(lambda: BatchBackend(), id="batch"),
+    pytest.param(lambda: ProcessPoolBackend(processes=2, shard_size=16),
+                 id="process"),
+]
+
+
+@pytest.fixture(scope="module")
+def implementation(tiny_fir_implementation):
+    return tiny_fir_implementation
+
+
+@pytest.fixture(scope="module")
+def serial_reference(implementation):
+    clear_cache()
+    return run_campaign(implementation, CONFIG, use_cache=False)
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("make_backend", BACKENDS_UNDER_TEST)
+    def test_backends_bit_identical(self, implementation, serial_reference,
+                                    make_backend):
+        result = run_campaign(implementation, CONFIG,
+                              backend=make_backend())
+        reference = serial_reference
+        assert result.injected == reference.injected
+        assert result.fault_list_size == reference.fault_list_size
+        assert result.wrong_answers == reference.wrong_answers
+        assert result.wrong_answer_percent == reference.wrong_answer_percent
+        assert result.effect_table() == reference.effect_table()
+        assert {name: (count.injected, count.wrong)
+                for name, count in result.by_category.items()} == \
+            {name: (count.injected, count.wrong)
+             for name, count in reference.by_category.items()}
+        assert [r.bit for r in result.results] == \
+            [r.bit for r in reference.results]
+        assert [(r.category, r.has_effect, r.wrong_answer,
+                 r.first_mismatch_cycle) for r in result.results] == \
+            [(r.category, r.has_effect, r.wrong_answer,
+              r.first_mismatch_cycle) for r in reference.results]
+
+    @pytest.mark.parametrize("make_backend", BACKENDS_UNDER_TEST)
+    def test_backend_name_recorded(self, implementation, make_backend):
+        backend = make_backend()
+        result = run_campaign(implementation, CONFIG, backend=backend)
+        assert result.backend == backend.name
+
+    def test_explicit_fault_bits_honoured(self, implementation):
+        bits = run_campaign(implementation, CONFIG).results
+        subset = [r.bit for r in bits[:20]]
+        for backend in ("serial", "batch"):
+            result = run_campaign(implementation, CONFIG, fault_bits=subset,
+                                  backend=backend)
+            assert [r.bit for r in result.results] == subset
+
+    def test_progress_cadence_matches_seed(self, implementation):
+        fault_list_bits = [r.bit for r in
+                           run_campaign(implementation, CONFIG).results]
+        bits = (fault_list_bits * 3)[:250]
+        for backend in ("serial", "batch",
+                        ProcessPoolBackend(processes=2, shard_size=32)):
+            calls = []
+            run_campaign(implementation, CONFIG, fault_bits=bits,
+                         backend=backend,
+                         progress=lambda done, total: calls.append(
+                             (done, total)))
+            assert calls == [(250, 250)]
+
+
+class TestCache:
+    def test_cached_rerun_identical_and_hits(self, implementation):
+        clear_cache()
+        cold = run_campaign(implementation, CONFIG)
+        before = cache_stats()
+        warm = run_campaign(implementation, CONFIG)
+        after = cache_stats()
+        assert warm.wrong_answer_percent == cold.wrong_answer_percent
+        assert warm.effect_table() == cold.effect_table()
+        assert after["golden_hits"] > before["golden_hits"]
+        assert after["effect_hits"] >= before["effect_hits"] + CONFIG.num_faults
+        assert after["fault_list_hits"] > before["fault_list_hits"]
+
+    def test_cache_disabled_matches_cached(self, implementation):
+        cached = run_campaign(implementation, CONFIG)
+        uncached = run_campaign(implementation, CONFIG, use_cache=False)
+        assert cached.wrong_answer_percent == uncached.wrong_answer_percent
+        assert cached.effect_table() == uncached.effect_table()
+
+    def test_fingerprint_stable_and_content_based(self, implementation):
+        first = implementation_fingerprint(implementation)
+        assert first == implementation_fingerprint(implementation)
+        assert get_cache().fingerprint_of(implementation) == first
+
+    def test_clear_cache_resets(self, implementation):
+        run_campaign(implementation, CONFIG)
+        assert len(get_cache()) >= 1
+        clear_cache()
+        assert len(get_cache()) == 0
+        assert sum(cache_stats().values()) == 0
+
+
+class TestEngineApi:
+    def test_resolve_backend_forms(self):
+        assert isinstance(resolve_backend(None), SerialBackend)
+        assert isinstance(resolve_backend("serial"), SerialBackend)
+        assert isinstance(resolve_backend("batch"), BatchBackend)
+        assert isinstance(resolve_backend("process"), ProcessPoolBackend)
+        assert isinstance(resolve_backend("processpool"), ProcessPoolBackend)
+        assert isinstance(resolve_backend(BatchBackend), BatchBackend)
+        instance = ProcessPoolBackend(processes=3)
+        assert resolve_backend(instance) is instance
+        with pytest.raises(ValueError):
+            resolve_backend("gpu")
+        with pytest.raises(TypeError):
+            resolve_backend(42)
+        assert issubclass(SerialBackend, ExecutionBackend)
+
+    def test_tasks_and_verdicts_picklable(self, implementation,
+                                          serial_reference):
+        from repro.faults import CampaignContext
+
+        context = CampaignContext(
+            implementation,
+            stimulus=default_stimulus(implementation, CONFIG))
+        bits = [r.bit for r in serial_reference.results[:5]]
+        tasks = context.tasks_for(bits)
+        for task in tasks:
+            clone = pickle.loads(pickle.dumps(task))
+            assert isinstance(clone, FaultTask)
+            assert (clone.index, clone.bit) == (task.index, task.bit)
+            verdict = context.evaluate(task)
+            round_trip = pickle.loads(pickle.dumps(verdict))
+            assert isinstance(round_trip, FaultVerdict)
+            assert round_trip == verdict
+
+    def test_detached_context_picklable_for_spawn(self, implementation):
+        from repro.faults import CampaignContext
+
+        entry = get_cache().entry_for(implementation)
+        context = CampaignContext(
+            implementation,
+            stimulus=default_stimulus(implementation, CONFIG),
+            cache_entry=entry)
+        # The cache entry holds weak references and must not travel to
+        # spawn-mode workers; the detached clone must round-trip and keep
+        # evaluating identically.
+        with pytest.raises(TypeError):
+            pickle.dumps(entry)
+        detached = context.detached()
+        # Pickling the netlist graph recurses proportionally to its depth;
+        # multiprocessing pickles from a shallow main-thread stack, but
+        # pytest's own frames eat into the default limit, so restore the
+        # headroom the real spawn path has.
+        import sys
+
+        limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(limit, 10000))
+        try:
+            clone = pickle.loads(pickle.dumps(detached))
+        finally:
+            sys.setrecursionlimit(limit)
+        bits = [r.bit for r in
+                run_campaign(implementation, CONFIG).results[:3]]
+        for bit in bits:
+            task_local = context.tasks_for([bit])[0]
+            task_clone = clone.tasks_for([bit])[0]
+            assert clone.evaluate(task_clone) == context.evaluate(task_local)
+
+    def test_mutated_bitstream_gets_fresh_cache_entry(self, implementation):
+        entry = get_cache().entry_for(implementation)
+        implementation.bitstream.flip_bit(0)
+        try:
+            assert get_cache().entry_for(implementation) is not entry
+        finally:
+            implementation.bitstream.flip_bit(0)
+        assert get_cache().fingerprint_of(implementation) == \
+            entry.fingerprint
+
+    def test_program_signature_groups_by_program_change(self, implementation,
+                                                        serial_reference):
+        from repro.faults import CampaignContext
+
+        context = CampaignContext(
+            implementation,
+            stimulus=default_stimulus(implementation, CONFIG))
+        effects = [context.effect_of_bit(r.bit)
+                   for r in serial_reference.results]
+        signatures = [program_signature(e) for e in effects]
+        # Effects without program-touching overrides share the empty
+        # signature (they all reuse the golden program verbatim).
+        empty = [s for e, s in zip(effects, signatures)
+                 if not e.overlay.lut_init_overrides
+                 and not e.overlay.gate_pin_overrides]
+        assert empty and all(s == ((), ()) for s in empty)
+        # A LUT INIT upset owns a non-empty signature.
+        lut = next(e for e in effects if e.overlay.lut_init_overrides)
+        assert program_signature(lut) != ((), ())
+
+    def test_run_campaigns_backend_knob(self, implementation):
+        results = run_campaigns({"only": implementation}, CONFIG,
+                                backend="batch")
+        assert results["only"].backend == "batch"
+
+    def test_campaign_tradeoff_runs_through_engine(self, implementation):
+        from repro.analysis import campaign_tradeoff
+
+        points = campaign_tradeoff({"standard": implementation}, CONFIG,
+                                   backend="batch")
+        assert len(points) == 1
+        assert points[0].design == "standard"
+        assert points[0].wrong_answer_percent > 0
+
+
+class TestDefaultStimulus:
+    def test_plain_design_uses_sorted_first_port(self, implementation):
+        stimulus = default_stimulus(implementation, CONFIG)
+        assert len(stimulus) == CONFIG.workload_cycles
+        ports = implementation.design.ports
+        data_ports = sorted(
+            name for name in ports
+            if ports[name].direction.value == "input"
+            and not name.upper().startswith("CLK"))
+        assert set(stimulus[0]) == {data_ports[0]}
+        assert stimulus == default_stimulus(implementation, CONFIG)
+
+    def test_tmr_design_drives_all_domains(self, tiny_tmr_implementation):
+        stimulus = default_stimulus(tiny_tmr_implementation, CONFIG)
+        assert len(stimulus) == CONFIG.workload_cycles
+        base = sorted(stimulus[0])
+        assert any(name.endswith("_tr0") for name in base)
+        for cycle in stimulus:
+            values = {}
+            for name, value in cycle.items():
+                assert name[-4:-1] == "_tr"
+                values.setdefault(name[:-4], set()).add(value)
+            for domain_values in values.values():
+                assert len(domain_values) == 1
