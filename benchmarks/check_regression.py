@@ -1,0 +1,88 @@
+"""Guard the campaign-engine benchmark against performance regressions.
+
+Compares a freshly measured ``BENCH_campaign.json`` against the baseline
+committed at the repository root and fails (exit code 1) when the best
+backend of any design regresses by more than the tolerance.
+
+Absolute faults/sec are machine-dependent, so the comparison uses
+``speedup_vs_seed_serial``: both the candidate backend and the seed serial
+loop run on the *same* machine in the same session, which makes the ratio
+portable across laptops and shared CI runners.  A >30 % drop of that ratio
+means the engine itself got slower, not the hardware.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        --baseline BENCH_campaign.json --current /tmp/BENCH_campaign.json \
+        [--tolerance 0.30]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def best_speedups(payload: dict) -> dict:
+    """{design: best speedup_vs_seed_serial over all backends}."""
+    result = {}
+    for design, row in payload.get("designs", {}).items():
+        speedups = [backend.get("speedup_vs_seed_serial", 0.0)
+                    for backend in row.get("backends", {}).values()]
+        if speedups:
+            result[design] = max(speedups)
+    return result
+
+
+def check(baseline: dict, current: dict, tolerance: float) -> list:
+    """Regression messages (empty when the run is acceptable)."""
+    problems = []
+    baseline_best = best_speedups(baseline)
+    current_best = best_speedups(current)
+    for design, reference in sorted(baseline_best.items()):
+        measured = current_best.get(design)
+        if measured is None:
+            problems.append(f"{design}: missing from the current report")
+            continue
+        floor = reference * (1.0 - tolerance)
+        if measured < floor:
+            problems.append(
+                f"{design}: best speedup {measured:.2f}x fell below "
+                f"{floor:.2f}x ({reference:.2f}x baseline - "
+                f"{tolerance:.0%} tolerance)")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path, required=True,
+                        help="committed BENCH_campaign.json")
+    parser.add_argument("--current", type=Path, required=True,
+                        help="freshly measured BENCH_campaign.json")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional drop of the best "
+                        "speedup (default 0.30)")
+    arguments = parser.parse_args(argv)
+
+    baseline = json.loads(arguments.baseline.read_text())
+    current = json.loads(arguments.current.read_text())
+    problems = check(baseline, current, arguments.tolerance)
+
+    for design, reference in sorted(best_speedups(baseline).items()):
+        measured = best_speedups(current).get(design)
+        shown = f"{measured:.2f}x" if measured is not None else "missing"
+        print(f"{design}: baseline {reference:.2f}x -> current {shown}")
+    if problems:
+        print("\nBenchmark regression detected:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print("No benchmark regression beyond tolerance "
+          f"({arguments.tolerance:.0%}).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

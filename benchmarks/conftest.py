@@ -4,10 +4,10 @@ The benchmarks regenerate the paper's tables and figures on a reduced
 configuration (the ``smoke`` scale by default) so that the full suite runs in
 a few minutes.  Set ``REPRO_BENCH_SCALE=fast`` or ``paper`` for larger runs,
 ``REPRO_BENCH_FAULTS`` to override the number of injected upsets per design,
-and ``REPRO_BENCH_BACKEND`` (``serial`` / ``batch`` / ``process``) to pick
-the campaign execution backend; the experiment CLIs (``python -m
-repro.experiments.table3 --scale paper --backend batch``) expose the same
-knobs outside pytest.
+and ``REPRO_BENCH_BACKEND`` (``serial`` / ``batch`` / ``process`` /
+``vector``) to pick the campaign execution backend; the experiment CLIs
+(``python -m repro.experiments.table3 --scale paper --backend vector``)
+expose the same knobs outside pytest.
 
 All heavy artefacts (the five implemented filter versions and their
 fault-injection campaigns) are built once per session and shared by every

@@ -8,6 +8,12 @@ caching).  The numbers land in ``BENCH_campaign.json`` at the repository
 root so the performance trajectory of the campaign hot path can be tracked
 across PRs.
 
+For the bit-parallel ``vector`` backend the report also records shard
+sizes and lane utilization (how full the big-int lanes actually were), so
+speedup figures stay interpretable across machines and fault mixes: a
+campaign that only fills a third of its lanes has that much headroom
+before the kernel itself is the limit.
+
 Knobs: ``REPRO_BENCH_SCALE`` / ``REPRO_BENCH_FAULTS`` (see conftest).
 """
 
@@ -17,8 +23,8 @@ import time
 from pathlib import Path
 
 from repro.faults import (CampaignConfig, FaultListManager,
-                          ProcessPoolBackend, clear_cache, default_stimulus,
-                          run_campaign)
+                          ProcessPoolBackend, VectorBackend, clear_cache,
+                          default_stimulus, run_campaign)
 from repro.experiments import campaign_config_for
 from repro.sim import CompiledDesign
 
@@ -29,6 +35,11 @@ BENCH_FAULTS = int(os.environ.get("REPRO_BENCH_FAULTS", "0")) or None
 #: workflow relaxes the bar via this knob (the JSON report still records
 #: the measured numbers either way).
 MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "2.0"))
+
+#: Required speedup of the bit-parallel vector backend over the seed
+#: serial loop (locally it sustains 20x+; relaxed on shared CI runners).
+VECTOR_MIN_SPEEDUP = float(
+    os.environ.get("REPRO_BENCH_VECTOR_MIN_SPEEDUP", "5.0"))
 
 #: design versions measured (the unprotected filter plus the paper's
 #: optimal partition)
@@ -86,11 +97,6 @@ def _timed(thunk):
 def test_campaign_engine_throughput(benchmark, design_suite,
                                     implementations):
     config = campaign_config_for(design_suite, num_faults=BENCH_FAULTS)
-    backends = {
-        "serial": lambda: "serial",
-        "batch": lambda: "batch",
-        "process": lambda: ProcessPoolBackend(processes=2),
-    }
 
     clear_cache()
     payload = {
@@ -102,20 +108,33 @@ def test_campaign_engine_throughput(benchmark, design_suite,
     for name in MEASURED_DESIGNS:
         implementation = implementations[name]
 
+        # Best of two, like the backends below: the seed loop is the
+        # denominator of every normalized speedup (including the CI
+        # regression gate), so a one-off stall here would skew them all.
         baseline, baseline_seconds = _timed(
             lambda: _seed_serial_loop(implementation, config))
+        second, second_seconds = _timed(
+            lambda: _seed_serial_loop(implementation, config))
+        assert second == baseline
+        baseline_seconds = min(baseline_seconds, second_seconds)
         baseline_fps = baseline["injected"] / baseline_seconds
 
         measured = {}
         reference = None
-        for backend_name, make in backends.items():
+        backends = {
+            "serial": "serial",
+            "batch": "batch",
+            "process": ProcessPoolBackend(processes=2),
+            "vector": VectorBackend(),
+        }
+        for backend_name, backend in backends.items():
             # Two runs per backend: the first may fill the cache, the
             # second is the steady state repeated campaigns run at.
             best_seconds = None
             for _ in range(2):
                 result, seconds = _timed(
                     lambda: run_campaign(implementation, config,
-                                         backend=make()))
+                                         backend=backend))
                 best_seconds = seconds if best_seconds is None \
                     else min(best_seconds, seconds)
             if reference is None:
@@ -130,6 +149,21 @@ def test_campaign_engine_throughput(benchmark, design_suite,
                 "speedup_vs_seed_serial": round(
                     baseline_seconds / best_seconds, 2),
             }
+            if isinstance(backend, VectorBackend):
+                stats = backend.last_run_stats
+                measured[backend_name]["lane_width"] = stats["lane_width"]
+                measured[backend_name]["packed_faults"] = \
+                    stats["packed_faults"]
+                measured[backend_name]["peak_lane_utilization"] = round(
+                    stats["peak_lane_utilization"], 4)
+                measured[backend_name]["mean_lane_utilization"] = round(
+                    stats["mean_lane_utilization"], 4)
+                measured[backend_name]["shards"] = [
+                    {"lanes": shard["lanes"], "passes": shard["passes"],
+                     "coned": shard["coned"],
+                     "cone_gates": shard["cone_gates"],
+                     "cycles_simulated": shard["cycles_simulated"]}
+                    for shard in stats["shards"]]
 
         best_backend = max(measured,
                            key=lambda k: measured[k]["faults_per_second"])
@@ -148,8 +182,11 @@ def test_campaign_engine_throughput(benchmark, design_suite,
     benchmark.extra_info["campaign_engine"] = payload
     benchmark.pedantic(lambda: payload, rounds=1, iterations=1)
 
-    # The engine's acceptance bar: at least one backend sustains >= 2x the
-    # seed serial loop's faults/sec on the Table 3 campaign (relaxed on
-    # noisy shared runners through REPRO_BENCH_MIN_SPEEDUP).
+    # The engine's acceptance bars: at least one backend sustains >= 2x
+    # the seed serial loop's faults/sec on the Table 3 campaign, and the
+    # bit-parallel vector backend sustains >= 5x on its own (both relaxed
+    # on noisy shared runners through the REPRO_BENCH_*MIN_SPEEDUP knobs).
     for name, row in payload["designs"].items():
         assert row["best_speedup"] >= MIN_SPEEDUP, (name, row)
+        assert row["backends"]["vector"]["speedup_vs_seed_serial"] >= \
+            VECTOR_MIN_SPEEDUP, (name, row)

@@ -8,8 +8,9 @@ paper's reference numbers.
 Run with ``python examples/fir_fault_injection_campaign.py [scale]
 [backend]`` where *scale* is ``smoke`` (default, about a minute), ``fast``
 or ``paper``, and *backend* selects the campaign execution engine
-(``serial``, ``batch`` — the default, or ``process``); every backend
-produces identical results.
+(``serial``, ``batch``, ``process``, or the bit-parallel ``vector`` — the
+default, which packs whole fault shards into big-int lanes); every
+backend produces identical results.
 """
 
 import sys
@@ -23,7 +24,7 @@ from repro.faults import (cache_stats, run_campaign, table3_report,
                           table4_report)
 
 
-def main(scale: str = "smoke", backend: str = "batch") -> None:
+def main(scale: str = "smoke", backend: str = "vector") -> None:
     print(f"building the five filter versions at scale {scale!r} ...")
     suite = build_design_suite(scale)
     print(f"  filter: {suite.spec.taps} taps, {suite.spec.data_width}-bit "

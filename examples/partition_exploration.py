@@ -46,7 +46,7 @@ def main() -> None:
               f"p = {candidate.defeat_probability:.4f}")
 
     print("\nmeasuring the two extreme Pareto points with fault injection "
-          "(batch engine backend):")
+          "(bit-parallel vector backend):")
     config = campaign_config_for(suite)
     device = device_by_name(suite.scale.tmr_device)
     for candidate in (front[0], front[-1]):
@@ -56,7 +56,7 @@ def main() -> None:
                                      name_suffix=f"_{name}"))
         flat = flatten(netlist, result.definition, flat_name=f"{name}_flat")
         implementation = implement(flat, device, anneal_moves_per_slice=2)
-        campaign = run_campaign(implementation, config, backend="batch")
+        campaign = run_campaign(implementation, config, backend="vector")
         print(f"  {candidate.strategy.describe():10s}: "
               f"{campaign.wrong_answer_percent:5.2f}% wrong answers "
               f"({implementation.slice_count} slices)")

@@ -33,7 +33,8 @@ def from_char(char: str) -> int:
 
 
 def is_known(value: int) -> bool:
-    return value is not UNKNOWN and value != UNKNOWN
+    """True for 0/1, False for X (equality alone covers the identity case)."""
+    return value != UNKNOWN
 
 
 def not_(a: int) -> int:

@@ -122,7 +122,7 @@ def figure4_summary(suite: DesignSuite) -> Dict[str, object]:
 
 def figure1_upset_demo(implementation: Implementation,
                        num_faults: int = 400, seed: int = 2005,
-                       backend: BackendLike = "batch") -> Dict[str, object]:
+                       backend: BackendLike = "vector") -> Dict[str, object]:
     """Measured counterparts of Figure 1's two example routing upsets.
 
     Figure 1 annotates the plain TMR scheme with upset "a" (a routing fault
@@ -211,7 +211,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--upsets", action="store_true",
                         help="also implement TMR_p3 and measure Figure 1's "
                              "example routing upsets via a campaign")
-    parser.add_argument("--backend", default="batch",
+    parser.add_argument("--backend", default="vector",
                         choices=BACKEND_CHOICES,
                         help="campaign execution backend for --upsets")
     parser.add_argument("--json", action="store_true")

@@ -44,7 +44,8 @@ def run_table3(suite: Optional[DesignSuite] = None,
     """Run the Table 3 campaigns and return one result per design.
 
     *backend* selects the campaign execution backend (``"serial"``,
-    ``"batch"`` or ``"process"``); every backend yields identical results.
+    ``"batch"``, ``"process"`` or the bit-parallel ``"vector"``); every
+    backend yields identical results.
     """
     if suite is None:
         suite = build_design_suite(scale)

@@ -45,7 +45,11 @@ def run_table4(results: Optional[Dict[str, CampaignResult]] = None,
                implementations: Optional[Dict[str, Implementation]] = None,
                scale: str = "fast", num_faults: Optional[int] = None,
                backend: BackendLike = None) -> Dict[str, Dict[str, int]]:
-    """Return the per-design effect breakdown of error-causing upsets."""
+    """Return the per-design effect breakdown of error-causing upsets.
+
+    *backend* selects the campaign execution backend (``"serial"``,
+    ``"batch"``, ``"process"`` or the bit-parallel ``"vector"``).
+    """
     if results is None:
         results = run_table3(suite=suite, implementations=implementations,
                              scale=scale, num_faults=num_faults,

@@ -9,7 +9,8 @@ from .campaign import (CampaignConfig, CampaignResult, CategoryCount,
 from .engine import (BACKEND_CHOICES, BACKENDS, BatchBackend,
                      CampaignContext, ExecutionBackend, FaultTask,
                      FaultVerdict, ProcessPoolBackend, ProgressCallback,
-                     SerialBackend, program_signature, resolve_backend)
+                     SerialBackend, VectorBackend, program_signature,
+                     resolve_backend)
 from .fault_list import FAULT_LIST_MODES, FaultList, FaultListManager
 from .injector import FaultInjectionManager, FaultResult
 from .models import FaultEffect, FaultModeler
@@ -26,7 +27,8 @@ __all__ = [
     "BACKEND_CHOICES", "BACKENDS", "BatchBackend", "CampaignContext",
     "ExecutionBackend",
     "FaultTask", "FaultVerdict", "ProcessPoolBackend", "ProgressCallback",
-    "SerialBackend", "program_signature", "resolve_backend",
+    "SerialBackend", "VectorBackend", "program_signature",
+    "resolve_backend",
     # cache layer
     "CampaignCache", "CampaignCacheEntry", "cache_stats", "clear_cache",
     "configure_cache", "get_cache", "implementation_fingerprint",

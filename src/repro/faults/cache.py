@@ -9,6 +9,8 @@ memoizes it behind an implementation *fingerprint*:
 * the :class:`~repro.sim.compile.CompiledDesign` (levelization),
 * the fault lists per selection mode,
 * the golden traces per stimulus (with the overlay-free gate program),
+* the compiled bit-parallel lane program
+  (:class:`~repro.sim.bitparallel.VectorProgram`),
 * the modelled :class:`~repro.faults.models.FaultEffect` per bit,
 * the fault cones per seed-net set.
 
@@ -28,6 +30,7 @@ from collections import OrderedDict
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from ..pnr.flow import Implementation
+from ..sim.bitparallel import VectorProgram, compile_vector_program
 from ..sim.compile import CompiledDesign, FaultCone
 from ..sim.simulator import SimulationTrace, Simulator
 
@@ -52,6 +55,8 @@ class CacheStats:
     compiled_misses: int = 0
     golden_hits: int = 0
     golden_misses: int = 0
+    vector_program_hits: int = 0
+    vector_program_misses: int = 0
     effect_hits: int = 0
     effect_misses: int = 0
     fault_list_hits: int = 0
@@ -99,6 +104,7 @@ class CampaignCacheEntry:
         #: implementation alive on its own
         self._implementation = weakref.ref(implementation)
         self._compiled: Optional[CompiledDesign] = None
+        self._vector_program: Optional[VectorProgram] = None
         self._fault_lists: Dict[str, "FaultList"] = {}
         #: stimulus key -> (golden trace, overlay-free gate program);
         #: LRU-bounded, the traces dominate the cache's memory
@@ -122,6 +128,7 @@ class CampaignCacheEntry:
                     self._golden.clear()
                     self._cones.clear()
                     self._effects.clear()
+                    self._vector_program = None
                 self._compiled = compiled
             return compiled
         if self._compiled is None:
@@ -134,6 +141,17 @@ class CampaignCacheEntry:
         else:
             stats.compiled_hits += 1
         return self._compiled
+
+    def vector_program(self, compiled: CompiledDesign,
+                       stats: CacheStats) -> VectorProgram:
+        """The memoized bit-parallel lane program of this implementation."""
+        if self._vector_program is None or \
+                self._vector_program.design is not compiled:
+            stats.vector_program_misses += 1
+            self._vector_program = compile_vector_program(compiled)
+        else:
+            stats.vector_program_hits += 1
+        return self._vector_program
 
     def fault_list(self, mode: str, stats: CacheStats) -> "FaultList":
         if mode not in self._fault_lists:

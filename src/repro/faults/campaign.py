@@ -9,9 +9,11 @@ error-causing upsets by effect category (Table 4).
 ``run_campaign`` keeps its historical signature; the ``backend=`` knob
 selects the execution strategy (``"serial"`` — the seed semantics and the
 default, ``"batch"`` — shared simulator programs per overlay signature,
-``"process"`` — sharded ``multiprocessing`` workers) and ``use_cache=``
-controls the golden-trace / fault-effect cache (:mod:`repro.faults.cache`).
-All backends produce bit-identical aggregates for the same seed.
+``"process"`` — sharded ``multiprocessing`` workers, ``"vector"`` — whole
+fault shards packed into big-int lanes and swept bit-parallel through
+:mod:`repro.sim.bitparallel`) and ``use_cache=`` controls the golden-trace
+/ fault-effect cache (:mod:`repro.faults.cache`).  All backends produce
+bit-identical aggregates for the same seed.
 """
 
 from __future__ import annotations

@@ -21,7 +21,10 @@ picklable units and executes them behind interchangeable backends:
     untouched, all share programs);
   - :class:`ProcessPoolBackend` — shards the task list across
     ``multiprocessing`` workers; each worker holds the compiled design once
-    and streams verdicts back.
+    and streams verdicts back;
+  - :class:`VectorBackend` — packs whole fault shards into the bit lanes of
+    Python big integers and simulates them in one PPSFP-style sweep
+    through the :mod:`repro.sim.bitparallel` kernel.
 
 Every backend must produce bit-identical campaign aggregates for the same
 sampled fault list — the equivalence is enforced by the test suite.
@@ -35,6 +38,9 @@ import os
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..pnr.flow import Implementation
+from ..sim.bitparallel import (VectorProgram, broadcast_inputs,
+                               broadcast_trace, compile_vector_program,
+                               simulate_lanes)
 from ..sim.compile import CompiledDesign, FaultCone
 from ..sim.golden import compare_traces
 from ..sim.simulator import SimulationTrace, Simulator
@@ -128,6 +134,7 @@ class CampaignContext:
         self._modeler: Optional[FaultModeler] = None
         self._golden: Optional[SimulationTrace] = None
         self._base_program = None
+        self._vector_program: Optional[VectorProgram] = None
         self._local_cones: Dict[Tuple[int, ...], FaultCone] = {}
 
     # ------------------------------------------------------------------
@@ -151,6 +158,7 @@ class CampaignContext:
         self._ensure_golden()
         clone._golden = self._golden
         clone._base_program = self._base_program
+        clone._vector_program = self._vector_program
         return clone
 
     def prepare(self) -> None:
@@ -179,6 +187,17 @@ class CampaignContext:
         self._ensure_golden()
         return self._base_program
 
+    @property
+    def vector_program(self) -> VectorProgram:
+        """The compiled bit-parallel lane program of this design."""
+        if self._vector_program is None:
+            if self.cache_entry is not None:
+                self._vector_program = self.cache_entry.vector_program(
+                    self.compiled, self.stats)
+            else:
+                self._vector_program = compile_vector_program(self.compiled)
+        return self._vector_program
+
     # ------------------------------------------------------------------
     def effect_of_bit(self, bit: int) -> FaultEffect:
         if self.cache_entry is not None:
@@ -192,7 +211,16 @@ class CampaignContext:
                 for index, bit in enumerate(fault_bits)]
 
     def cone_for(self, effect: FaultEffect) -> Optional[FaultCone]:
-        seed_nets = effect.overlay.seed_nets
+        return self.cone_for_nets(effect.overlay.seed_nets)
+
+    def cone_for_nets(self,
+                      seed_nets: Sequence[int]) -> Optional[FaultCone]:
+        """Memoized fan-out cone of a seed-net set.
+
+        Serves both per-fault cones and the per-shard union cones of the
+        vector backend: repeated campaigns produce the same shards, so
+        union cones hit the cache like any other cone.
+        """
         if not seed_nets:
             return None
         if self.cache_entry is not None:
@@ -329,6 +357,114 @@ class BatchBackend(ExecutionBackend):
         return [verdict for verdict in verdicts if verdict is not None]
 
 
+class VectorBackend(ExecutionBackend):
+    """Bit-parallel (PPSFP-style) shard evaluation over integer lanes.
+
+    Effectful tasks are grouped by the two shard invariants that must be
+    homogeneous for bit-identical results — the number of combinational
+    settle passes and whether a fault cone exists — then packed
+    ``lane_width`` faults at a time into the big-int lanes of the
+    :mod:`repro.sim.bitparallel` kernel.  One sweep over the levelized
+    lane program simulates the whole shard against the cached golden
+    trace; per-lane output divergence masks are demuxed back into
+    :class:`FaultVerdict`\\ s, and a lane-retirement mask stops the sweep
+    early once every lane of the shard has produced a wrong answer.
+
+    ``last_run_stats`` records shard sizes and lane utilization of the
+    most recent :meth:`run`, so benchmarks can report how full the lanes
+    actually were.
+    """
+
+    name = "vector"
+
+    def __init__(self, lane_width: int = 256) -> None:
+        if lane_width < 1:
+            raise ValueError("lane_width must be at least 1")
+        self.lane_width = lane_width
+        self.last_run_stats: Dict[str, object] = {}
+
+    def run(self, context: CampaignContext, tasks: Sequence[FaultTask],
+            progress: Optional[ProgressCallback] = None
+            ) -> List[FaultVerdict]:
+        context.prepare()
+        program = context.vector_program
+        total = len(tasks)
+        done = 0
+        verdicts: List[Optional[FaultVerdict]] = [None] * total
+
+        groups: Dict[Tuple[int, bool], List[FaultTask]] = {}
+        for task in tasks:
+            overlay = task.effect.overlay
+            if not task.effect.has_effect:
+                verdicts[task.index] = context.evaluate(task)
+                done += 1
+                self._tick(progress, done, total)
+                continue
+            key = (overlay.required_passes(), bool(overlay.seed_nets))
+            groups.setdefault(key, []).append(task)
+
+        width = self.lane_width
+        reseed = None
+        inputs = None
+        if groups:
+            # Built once per campaign: every shard shares the stimulus
+            # broadcast (and, for coned shards, the golden broadcast).
+            inputs = broadcast_inputs(context.compiled, context.stimulus,
+                                      (1 << width) - 1)
+        shard_stats: List[Dict[str, object]] = []
+        for (passes, coned), group in groups.items():
+            for start in range(0, len(group), width):
+                shard = group[start:start + width]
+                overlays = [task.effect.overlay for task in shard]
+                cone = None
+                if coned:
+                    seeds = sorted({net for overlay in overlays
+                                    for net in overlay.seed_nets})
+                    cone = context.cone_for_nets(seeds)
+                    if reseed is None:
+                        reseed = broadcast_trace(context.golden,
+                                                 (1 << width) - 1)
+                result = simulate_lanes(
+                    program, overlays, context.stimulus, context.golden,
+                    passes=passes, skip_cycles=context.skip_cycles,
+                    ports=context.output_ports, cone=cone, width=width,
+                    reseed=reseed if coned else None, inputs=inputs)
+                for task, outcome in zip(shard, result.outcomes):
+                    effect = task.effect
+                    verdicts[task.index] = FaultVerdict(
+                        index=task.index,
+                        bit=task.bit,
+                        resource_kind=effect.resource[0],
+                        category=effect.category,
+                        has_effect=True,
+                        wrong_answer=outcome.wrong_answer,
+                        first_mismatch_cycle=outcome.first_mismatch_cycle,
+                        detail=effect.detail,
+                    )
+                    done += 1
+                    self._tick(progress, done, total)
+                shard_stats.append({
+                    "lanes": len(shard),
+                    "passes": passes,
+                    "coned": coned,
+                    "cone_gates": len(cone.gate_indices)
+                    if cone is not None else len(program.entries),
+                    "cycles_simulated": result.cycles_simulated,
+                })
+        used = sum(stat["lanes"] for stat in shard_stats)
+        self.last_run_stats = {
+            "lane_width": width,
+            "shards": shard_stats,
+            "packed_faults": used,
+            "peak_lane_utilization": max(
+                (stat["lanes"] / width for stat in shard_stats),
+                default=0.0),
+            "mean_lane_utilization": (used / (len(shard_stats) * width))
+            if shard_stats else 0.0,
+        }
+        return [verdict for verdict in verdicts if verdict is not None]
+
+
 # ----------------------------------------------------------------------
 # Process-pool backend.  Workers are primed through a fork-inherited (or,
 # under spawn, pickled) context; already-modelled tasks travel in shards
@@ -422,15 +558,18 @@ BACKENDS = {
     SerialBackend.name: SerialBackend,
     BatchBackend.name: BatchBackend,
     ProcessPoolBackend.name: ProcessPoolBackend,
+    VectorBackend.name: VectorBackend,
     # convenience aliases
     "processpool": ProcessPoolBackend,
     "pool": ProcessPoolBackend,
+    "bitparallel": VectorBackend,
+    "ppsfp": VectorBackend,
 }
 
 #: The documented backend names, for CLI ``choices=`` (the registry also
 #: accepts aliases, but they are not part of the public surface).
 BACKEND_CHOICES = (SerialBackend.name, BatchBackend.name,
-                   ProcessPoolBackend.name)
+                   ProcessPoolBackend.name, VectorBackend.name)
 
 BackendLike = Union[None, str, ExecutionBackend]
 

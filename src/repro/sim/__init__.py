@@ -1,5 +1,8 @@
 """Levelized three-valued simulation of flat primitive netlists."""
 
+from .bitparallel import (LaneOutcome, VectorProgram, VectorResult,
+                          broadcast_inputs, broadcast_trace,
+                          compile_vector_program, simulate_lanes)
 from .compile import CompiledDesign, FaultCone, FlipFlop, Gate, PortBinding
 from .golden import (ComparisonResult, compare_traces, outputs_as_ints,
                      trace_matches_reference)
@@ -12,6 +15,8 @@ from .vectors import (alternating, campaign_workload, impulse, random_samples,
                       tmr_stimulus_from_samples)
 
 __all__ = [
+    "LaneOutcome", "VectorProgram", "VectorResult", "broadcast_inputs",
+    "broadcast_trace", "compile_vector_program", "simulate_lanes",
     "CompiledDesign", "FaultCone", "FlipFlop", "Gate", "PortBinding",
     "ComparisonResult", "compare_traces", "outputs_as_ints",
     "trace_matches_reference", "BLEND_AND_NOT", "BLEND_SHORT",

@@ -55,6 +55,10 @@ def compare_traces(dut: SimulationTrace, golden: SimulationTrace,
     first_mismatch: Optional[int] = None
     mismatching_cycles = 0
     mismatching_ports: List[str] = []
+    # Ports the golden device never drives to X compare with one C-level
+    # list inequality (a DUT X still mismatches: UNKNOWN != 0/1), instead
+    # of re-scanning every bit for X on every cycle of every fault.
+    fully_known = golden.all_known_ports()
 
     for cycle, (dut_out, golden_out) in enumerate(zip(dut.outputs,
                                                       golden.outputs)):
@@ -63,7 +67,11 @@ def compare_traces(dut: SimulationTrace, golden: SimulationTrace,
         selected = ports if ports is not None else golden_out.keys()
         cycle_mismatch = False
         for port in selected:
-            if _bits_mismatch(dut_out[port], golden_out[port]):
+            if port in fully_known:
+                mismatch = dut_out[port] != golden_out[port]
+            else:
+                mismatch = _bits_mismatch(dut_out[port], golden_out[port])
+            if mismatch:
                 cycle_mismatch = True
                 if port not in mismatching_ports:
                     mismatching_ports.append(port)

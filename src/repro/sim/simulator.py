@@ -38,13 +38,37 @@ class SimulationTrace:
     net_values: Optional[List[List[int]]] = None
     #: per cycle: flip-flop state *entering* the cycle
     ff_states: Optional[List[List[int]]] = None
+    #: memoized ports provably free of X on every cycle (traces are
+    #: immutable once a run returns, so one scan serves every consumer)
+    _all_known_ports: Optional[frozenset] = dataclasses.field(
+        default=None, repr=False, compare=False)
+
+    def all_known_ports(self) -> frozenset:
+        """Ports whose outputs are 0/1 on every recorded cycle.
+
+        Golden traces are compared against thousands of faulty traces per
+        campaign; scanning for X once here lets the comparison and the
+        integer conversion skip the per-cycle per-bit re-scan entirely.
+        """
+        if self._all_known_ports is None:
+            unknown_ports = set()
+            unknown = logic.UNKNOWN
+            for cycle in self.outputs:
+                for port, bits in cycle.items():
+                    if port not in unknown_ports and unknown in bits:
+                        unknown_ports.add(port)
+            ports = self.outputs[0].keys() if self.outputs else ()
+            self._all_known_ports = frozenset(
+                port for port in ports if port not in unknown_ports)
+        return self._all_known_ports
 
     def output_ints(self, port: str, signed: bool = True) -> List[Optional[int]]:
         """Outputs of *port* per cycle as integers (None when any bit is X)."""
         result: List[Optional[int]] = []
+        scan_for_unknown = port not in self.all_known_ports()
         for cycle in self.outputs:
             bits = cycle[port]
-            if any(b == logic.UNKNOWN for b in bits):
+            if scan_for_unknown and any(b == logic.UNKNOWN for b in bits):
                 result.append(None)
                 continue
             value = logic.bits_to_int(bits)

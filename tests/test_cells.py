@@ -21,6 +21,15 @@ class TestLogic:
         assert logic.xor_(1, 1) == 0
         assert logic.not_(0) == 1
 
+    def test_is_known(self):
+        assert logic.is_known(logic.ZERO)
+        assert logic.is_known(logic.ONE)
+        assert not logic.is_known(logic.UNKNOWN)
+        # Equality, not identity: 2.0 is a distinct object (no small-int
+        # interning for floats) that equals UNKNOWN, so it is unknown.
+        assert 2.0 is not logic.UNKNOWN
+        assert not logic.is_known(2.0)
+
     def test_unknown_propagation(self):
         x = logic.UNKNOWN
         assert logic.and_(x, 0) == 0          # controlled by the zero

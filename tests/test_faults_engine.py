@@ -6,24 +6,29 @@ category counts, per-fault records) for the same sampled fault list.
 """
 
 import pickle
+import random
 
 import pytest
 
 from repro.faults import (BatchBackend, CampaignConfig, ExecutionBackend,
                           FaultTask, FaultVerdict, ProcessPoolBackend,
-                          SerialBackend, cache_stats, clear_cache,
-                          default_stimulus, get_cache,
+                          SerialBackend, VectorBackend, cache_stats,
+                          clear_cache, default_stimulus, get_cache,
                           implementation_fingerprint, program_signature,
                           resolve_backend, run_campaign, run_campaigns)
 
 CONFIG = CampaignConfig(num_faults=120, workload_cycles=6, seed=9)
 
-#: instances so the process backend actually forks even on a 1-CPU box
+#: instances so the process backend actually forks even on a 1-CPU box,
+#: and a narrow vector backend so the lane packer must produce several
+#: shards per campaign
 BACKENDS_UNDER_TEST = [
     pytest.param(lambda: SerialBackend(), id="serial"),
     pytest.param(lambda: BatchBackend(), id="batch"),
     pytest.param(lambda: ProcessPoolBackend(processes=2, shard_size=16),
                  id="process"),
+    pytest.param(lambda: VectorBackend(), id="vector"),
+    pytest.param(lambda: VectorBackend(lane_width=8), id="vector-narrow"),
 ]
 
 
@@ -79,7 +84,7 @@ class TestBackendEquivalence:
         fault_list_bits = [r.bit for r in
                            run_campaign(implementation, CONFIG).results]
         bits = (fault_list_bits * 3)[:250]
-        for backend in ("serial", "batch",
+        for backend in ("serial", "batch", "vector",
                         ProcessPoolBackend(processes=2, shard_size=32)):
             calls = []
             run_campaign(implementation, CONFIG, fault_bits=bits,
@@ -128,6 +133,9 @@ class TestEngineApi:
         assert isinstance(resolve_backend("batch"), BatchBackend)
         assert isinstance(resolve_backend("process"), ProcessPoolBackend)
         assert isinstance(resolve_backend("processpool"), ProcessPoolBackend)
+        assert isinstance(resolve_backend("vector"), VectorBackend)
+        assert isinstance(resolve_backend("bitparallel"), VectorBackend)
+        assert isinstance(resolve_backend("ppsfp"), VectorBackend)
         assert isinstance(resolve_backend(BatchBackend), BatchBackend)
         instance = ProcessPoolBackend(processes=3)
         assert resolve_backend(instance) is instance
@@ -231,6 +239,69 @@ class TestEngineApi:
         assert len(points) == 1
         assert points[0].design == "standard"
         assert points[0].wrong_answer_percent > 0
+
+
+class TestVectorLaneEquivalence:
+    """Property: VectorBackend is a bit-identical drop-in for SerialBackend.
+
+    Randomized campaigns (different sampling seeds, workload streams and
+    lane widths, on both the plain and the TMR filter) must demux the
+    packed lanes into exactly the verdict stream the scalar cone
+    simulator produces — including the first mismatching cycle.
+    """
+
+    @staticmethod
+    def _verdict_stream(result):
+        return [(r.bit, r.category, r.has_effect, r.wrong_answer,
+                 r.first_mismatch_cycle) for r in result.results]
+
+    @pytest.mark.parametrize("case", range(4))
+    def test_randomized_campaigns_bit_identical(self, implementation,
+                                               tiny_tmr_implementation,
+                                               case):
+        rng = random.Random(1000 + case)
+        target = implementation if case % 2 == 0 else \
+            tiny_tmr_implementation
+        config = CampaignConfig(
+            num_faults=rng.randint(40, 90),
+            workload_cycles=rng.randint(4, 8),
+            seed=rng.randint(0, 10_000),
+            workload_seed=rng.randint(0, 10_000),
+            skip_cycles=rng.choice((0, 1)),
+        )
+        serial = run_campaign(target, config, backend="serial")
+        vector = run_campaign(
+            target, config,
+            backend=VectorBackend(lane_width=rng.choice((4, 32, 256))))
+        assert self._verdict_stream(vector) == self._verdict_stream(serial)
+        assert vector.wrong_answers == serial.wrong_answers
+        assert vector.effect_table() == serial.effect_table()
+
+    def test_explicit_lane_packing_covers_every_fault(self, implementation,
+                                                      serial_reference):
+        # A lane width of one degenerates to per-fault sweeps and must
+        # still agree — exercises single-lane masks and shard demux.
+        bits = [r.bit for r in serial_reference.results[:25]]
+        serial = run_campaign(implementation, CONFIG, fault_bits=bits,
+                              backend="serial")
+        backend = VectorBackend(lane_width=1)
+        vector = run_campaign(implementation, CONFIG, fault_bits=bits,
+                              backend=backend)
+        assert self._verdict_stream(vector) == self._verdict_stream(serial)
+        assert backend.last_run_stats["packed_faults"] == sum(
+            1 for r in serial.results if r.has_effect)
+        assert backend.last_run_stats["peak_lane_utilization"] == 1.0
+
+    def test_vector_program_cached_across_campaigns(self, implementation):
+        clear_cache()
+        run_campaign(implementation, CONFIG, backend="vector")
+        first = cache_stats()
+        assert first["vector_program_misses"] >= 1
+        run_campaign(implementation, CONFIG, backend="vector")
+        second = cache_stats()
+        assert second["vector_program_hits"] > first["vector_program_hits"]
+        assert second["vector_program_misses"] == \
+            first["vector_program_misses"]
 
 
 class TestDefaultStimulus:
