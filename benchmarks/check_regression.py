@@ -1,19 +1,26 @@
-"""Guard the campaign-engine benchmark against performance regressions.
+"""Guard the benchmarks against performance regressions.
 
-Compares a freshly measured ``BENCH_campaign.json`` against the baseline
-committed at the repository root and fails (exit code 1) when the best
-backend of any design regresses by more than the tolerance.
+Compares freshly measured benchmark reports against the baselines
+committed at the repository root and fails (exit code 1) when a
+normalized speedup regresses by more than the tolerance:
 
-Absolute faults/sec are machine-dependent, so the comparison uses
-``speedup_vs_seed_serial``: both the candidate backend and the seed serial
-loop run on the *same* machine in the same session, which makes the ratio
-portable across laptops and shared CI runners.  A >30 % drop of that ratio
-means the engine itself got slower, not the hardware.
+* ``BENCH_campaign.json`` — the best campaign backend's
+  ``speedup_vs_seed_serial`` per design;
+* ``BENCH_flow.json`` (optional, via ``--flow-baseline/--flow-current``)
+  — the implementation flow's total ``cold_speedup_vs_seed`` and
+  ``warm_speedup_vs_seed``.
+
+Absolute seconds are machine-dependent, so every comparison uses a
+speedup over a seed replica measured on the *same* machine in the same
+session, which makes the ratios portable across laptops and shared CI
+runners.  A >30 % drop of a ratio means the code itself got slower, not
+the hardware.
 
 Usage::
 
     python benchmarks/check_regression.py \
         --baseline BENCH_campaign.json --current /tmp/BENCH_campaign.json \
+        [--flow-baseline BENCH_flow.json --flow-current /tmp/BENCH_flow.json] \
         [--tolerance 0.30]
 """
 
@@ -36,23 +43,44 @@ def best_speedups(payload: dict) -> dict:
     return result
 
 
-def check(baseline: dict, current: dict, tolerance: float) -> list:
-    """Regression messages (empty when the run is acceptable)."""
+def flow_speedups(payload: dict) -> dict:
+    """{metric: total flow speedup vs the seed replica}."""
+    totals = payload.get("totals", {})
+    result = {}
+    for metric in ("cold_speedup_vs_seed", "warm_speedup_vs_seed"):
+        if metric in totals:
+            result[metric] = totals[metric]
+    return result
+
+
+def _compare(label: str, baseline: dict, current: dict,
+             tolerance: float) -> list:
     problems = []
-    baseline_best = best_speedups(baseline)
-    current_best = best_speedups(current)
-    for design, reference in sorted(baseline_best.items()):
-        measured = current_best.get(design)
+    for key, reference in sorted(baseline.items()):
+        measured = current.get(key)
         if measured is None:
-            problems.append(f"{design}: missing from the current report")
+            problems.append(f"{label} {key}: missing from the current "
+                            f"report")
             continue
         floor = reference * (1.0 - tolerance)
         if measured < floor:
             problems.append(
-                f"{design}: best speedup {measured:.2f}x fell below "
+                f"{label} {key}: speedup {measured:.2f}x fell below "
                 f"{floor:.2f}x ({reference:.2f}x baseline - "
                 f"{tolerance:.0%} tolerance)")
     return problems
+
+
+def check(baseline: dict, current: dict, tolerance: float) -> list:
+    """Campaign regression messages (empty when the run is acceptable)."""
+    return _compare("campaign", best_speedups(baseline),
+                    best_speedups(current), tolerance)
+
+
+def check_flow(baseline: dict, current: dict, tolerance: float) -> list:
+    """Flow regression messages (empty when the run is acceptable)."""
+    return _compare("flow", flow_speedups(baseline),
+                    flow_speedups(current), tolerance)
 
 
 def main(argv=None) -> int:
@@ -61,6 +89,10 @@ def main(argv=None) -> int:
                         help="committed BENCH_campaign.json")
     parser.add_argument("--current", type=Path, required=True,
                         help="freshly measured BENCH_campaign.json")
+    parser.add_argument("--flow-baseline", type=Path, default=None,
+                        help="committed BENCH_flow.json")
+    parser.add_argument("--flow-current", type=Path, default=None,
+                        help="freshly measured BENCH_flow.json")
     parser.add_argument("--tolerance", type=float, default=0.30,
                         help="allowed fractional drop of the best "
                         "speedup (default 0.30)")
@@ -74,6 +106,20 @@ def main(argv=None) -> int:
         measured = best_speedups(current).get(design)
         shown = f"{measured:.2f}x" if measured is not None else "missing"
         print(f"{design}: baseline {reference:.2f}x -> current {shown}")
+
+    if arguments.flow_baseline is not None and \
+            arguments.flow_current is not None:
+        flow_baseline = json.loads(arguments.flow_baseline.read_text())
+        flow_current = json.loads(arguments.flow_current.read_text())
+        problems.extend(check_flow(flow_baseline, flow_current,
+                                   arguments.tolerance))
+        measured_flow = flow_speedups(flow_current)
+        for metric, reference in sorted(
+                flow_speedups(flow_baseline).items()):
+            measured = measured_flow.get(metric)
+            shown = f"{measured:.2f}x" if measured is not None else "missing"
+            print(f"flow {metric}: baseline {reference:.2f}x -> "
+                  f"current {shown}")
     if problems:
         print("\nBenchmark regression detected:", file=sys.stderr)
         for problem in problems:

@@ -4,10 +4,13 @@ The benchmarks regenerate the paper's tables and figures on a reduced
 configuration (the ``smoke`` scale by default) so that the full suite runs in
 a few minutes.  Set ``REPRO_BENCH_SCALE=fast`` or ``paper`` for larger runs,
 ``REPRO_BENCH_FAULTS`` to override the number of injected upsets per design,
-and ``REPRO_BENCH_BACKEND`` (``serial`` / ``batch`` / ``process`` /
-``vector``) to pick the campaign execution backend; the experiment CLIs
-(``python -m repro.experiments.table3 --scale paper --backend vector``)
-expose the same knobs outside pytest.
+``REPRO_BENCH_BACKEND`` (``serial`` / ``batch`` / ``process`` / ``vector``)
+to pick the campaign execution backend, ``REPRO_BENCH_JOBS`` to place and
+route the suite designs in parallel worker processes, and
+``REPRO_FLOW_CACHE`` to serve implementations from (and persist them to)
+the on-disk flow-artifact store; the experiment CLIs
+(``python -m repro.experiments.table3 --scale paper --backend vector
+--jobs 4 --flow-cache .flow-cache``) expose the same knobs outside pytest.
 
 All heavy artefacts (the five implemented filter versions and their
 fault-injection campaigns) are built once per session and shared by every
@@ -27,6 +30,10 @@ from repro.faults import run_campaign
 BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "smoke")
 BENCH_FAULTS = int(os.environ.get("REPRO_BENCH_FAULTS", "0")) or None
 BENCH_BACKEND = os.environ.get("REPRO_BENCH_BACKEND", "batch")
+#: parallel P&R workers for the shared implementations fixture
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+#: persistent flow-artifact directory (CI caches it across runs)
+BENCH_FLOW_CACHE = os.environ.get("REPRO_FLOW_CACHE")
 
 
 @pytest.fixture(scope="session")
@@ -36,7 +43,8 @@ def design_suite():
 
 @pytest.fixture(scope="session")
 def implementations(design_suite):
-    return implement_design_suite(design_suite)
+    return implement_design_suite(design_suite, jobs=BENCH_JOBS,
+                                  artifact_store=BENCH_FLOW_CACHE)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,178 @@
+"""Benchmark: implementation-flow throughput (seed flow vs fast flow).
+
+Measures, per suite design, the seed place-and-route flow (the tuple-based
+PathFinder router, swap-and-recompute annealer and linear-scan bit
+accounting preserved in :mod:`repro.pnr.reference`) against
+
+* the **cold** fast flow — integer-indexed routing graph, incremental
+  annealing, memoized PIP tables, nothing on disk yet, and
+* the **warm** flow — a second run served entirely from the persistent
+  flow-artifact store.
+
+The numbers land in ``BENCH_flow.json`` at the repository root (per-design
+seconds, route-iteration counts, totals and speedups) so the flow's
+performance trajectory is tracked across PRs;
+``benchmarks/check_regression.py`` gates CI on the normalized speedups.
+Every measured implementation is also asserted bit-identical across the
+three flows — the benchmark doubles as the suite-scale golden-equivalence
+test.
+
+Knobs: ``REPRO_BENCH_SCALE`` selects the suite scale (see conftest);
+``REPRO_BENCH_FLOW_MIN_SPEEDUP`` / ``REPRO_BENCH_FLOW_WARM_MIN_SPEEDUP``
+relax the local acceptance bars on noisy shared runners.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.experiments import DESIGN_ORDER, device_for
+from repro.fpga.bitgen import generate_bitstream
+from repro.fpga.config import ConfigLayout, clear_layout_cache
+from repro.fpga.routing import clear_routing_graph_cache
+from repro.pnr import FlowArtifactStore, estimate_timing, implement, pack
+from repro.pnr.reference import (reference_bit_stats, reference_place,
+                                 reference_route_design)
+
+#: Required cold-flow speedup over the seed flow (locally ~2.5x; shared CI
+#: runners relax the bar via the env knob, the regression gate compares
+#: normalized speedups instead).
+MIN_COLD_SPEEDUP = float(
+    os.environ.get("REPRO_BENCH_FLOW_MIN_SPEEDUP", "2.0"))
+
+#: Required warm (cache-hit) speedup over the seed flow: a hit unpickles
+#: an artifact instead of placing and routing, locally 30x+.
+MIN_WARM_SPEEDUP = float(
+    os.environ.get("REPRO_BENCH_FLOW_WARM_MIN_SPEEDUP", "10.0"))
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_flow.json"
+
+
+def _seed_implement(suite, name):
+    """The seed flow, stage by stage, on fresh per-design caches."""
+    definition = suite.flat[name]
+    device = device_for(suite, name)
+    packed = pack(definition)
+    placement = reference_place(
+        definition, packed, device, seed=1,
+        anneal_moves_per_slice=suite.scale.anneal_moves_per_slice)
+    routing = reference_route_design(definition, packed, placement, device,
+                                     max_iterations=20)
+    timing = estimate_timing(definition, placement)
+    layout = ConfigLayout(device)  # the seed built a fresh layout per design
+    bitstream, resources, layout = generate_bitstream(
+        definition, device, packed, placement, routing, layout)
+    stats = reference_bit_stats(device, layout, resources.lut_sites,
+                                resources.ff_sites, resources.used_slices,
+                                routing)
+    assert stats == resources.stats
+    return {
+        "placement": placement,
+        "routing": routing,
+        "timing": timing,
+        "bitstream": bitstream,
+        "stats": stats,
+    }
+
+
+def _fast_implement(suite, name, store):
+    definition = suite.flat[name]
+    device = device_for(suite, name)
+    return implement(
+        definition, device, seed=1,
+        anneal_moves_per_slice=suite.scale.anneal_moves_per_slice,
+        artifact_store=store)
+
+
+def _timed(thunk):
+    start = time.perf_counter()
+    value = thunk()
+    return value, time.perf_counter() - start
+
+
+def test_flow_throughput(benchmark, design_suite, tmp_path_factory):
+    suite = design_suite
+    store = FlowArtifactStore(tmp_path_factory.mktemp("flow-artifacts"))
+
+    seed_results = {}
+    seed_seconds = {}
+    for name in DESIGN_ORDER:
+        seed_results[name], seed_seconds[name] = _timed(
+            lambda name=name: _seed_implement(suite, name))
+
+    # Cold: empty artifact store, no memoized routing graphs or layouts.
+    clear_routing_graph_cache()
+    clear_layout_cache()
+    cold_results = {}
+    cold_seconds = {}
+    for name in DESIGN_ORDER:
+        cold_results[name], cold_seconds[name] = _timed(
+            lambda name=name: _fast_implement(suite, name, store))
+    assert store.stats.misses == len(DESIGN_ORDER)
+    assert store.stats.stores == len(DESIGN_ORDER)
+
+    # Warm: every design served from the on-disk store.
+    warm_results = {}
+    warm_seconds = {}
+    for name in DESIGN_ORDER:
+        warm_results[name], warm_seconds[name] = _timed(
+            lambda name=name: _fast_implement(suite, name, store))
+    assert store.stats.hits == len(DESIGN_ORDER)
+
+    # Suite-scale golden equivalence: seed == cold == warm, bit for bit.
+    for name in DESIGN_ORDER:
+        seed = seed_results[name]
+        cold = cold_results[name]
+        warm = warm_results[name]
+        assert seed["placement"].slice_tiles == cold.placement.slice_tiles
+        assert seed["placement"].port_pads == cold.placement.port_pads
+        assert {n: t.parent for n, t in seed["routing"].routes.items()} == \
+            {n: t.parent for n, t in cold.routing.routes.items()}
+        assert seed["routing"].pip_owner == cold.routing.pip_owner
+        assert seed["stats"] == cold.resources.stats
+        assert seed["timing"] == cold.timing
+        assert bytes(seed["bitstream"].bits) == bytes(cold.bitstream.bits)
+        assert bytes(warm.bitstream.bits) == bytes(cold.bitstream.bits)
+        assert {n: t.parent for n, t in warm.routing.routes.items()} == \
+            {n: t.parent for n, t in cold.routing.routes.items()}
+
+    payload = {
+        "scale": suite.scale.name,
+        "anneal_moves_per_slice": suite.scale.anneal_moves_per_slice,
+        "router_iterations": 20,
+        "designs": {},
+    }
+    for name in DESIGN_ORDER:
+        routing = cold_results[name].routing
+        payload["designs"][name] = {
+            "seed_seconds": round(seed_seconds[name], 4),
+            "cold_seconds": round(cold_seconds[name], 4),
+            "warm_seconds": round(warm_seconds[name], 4),
+            "cold_speedup_vs_seed": round(
+                seed_seconds[name] / cold_seconds[name], 2),
+            "warm_speedup_vs_seed": round(
+                seed_seconds[name] / warm_seconds[name], 2),
+            "route_iterations": routing.iterations,
+            "routed_nets": len(routing.routes),
+            "slices": cold_results[name].slice_count,
+        }
+    seed_total = sum(seed_seconds.values())
+    cold_total = sum(cold_seconds.values())
+    warm_total = sum(warm_seconds.values())
+    payload["totals"] = {
+        "seed_seconds": round(seed_total, 4),
+        "cold_seconds": round(cold_total, 4),
+        "warm_seconds": round(warm_total, 4),
+        "cold_speedup_vs_seed": round(seed_total / cold_total, 2),
+        "warm_speedup_vs_seed": round(seed_total / warm_total, 2),
+    }
+
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    benchmark.extra_info["flow"] = payload
+    benchmark.pedantic(lambda: payload, rounds=1, iterations=1)
+
+    assert payload["totals"]["cold_speedup_vs_seed"] >= MIN_COLD_SPEEDUP, \
+        payload["totals"]
+    assert payload["totals"]["warm_speedup_vs_seed"] >= MIN_WARM_SPEEDUP, \
+        payload["totals"]

@@ -6,13 +6,18 @@ fault-injection campaign per version and prints the three tables next to the
 paper's reference numbers.
 
 Run with ``python examples/fir_fault_injection_campaign.py [scale]
-[backend]`` where *scale* is ``smoke`` (default, about a minute), ``fast``
-or ``paper``, and *backend* selects the campaign execution engine
+[backend] [jobs]`` where *scale* is ``smoke`` (default, about a minute),
+``fast`` or ``paper``, *backend* selects the campaign execution engine
 (``serial``, ``batch``, ``process``, or the bit-parallel ``vector`` — the
-default, which packs whole fault shards into big-int lanes); every
-backend produces identical results.
+default, which packs whole fault shards into big-int lanes), and *jobs*
+implements the five filter versions in that many parallel worker
+processes; every backend produces identical results.  Set the
+``REPRO_FLOW_CACHE`` environment variable to a directory to persist the
+place-and-route artifacts — a second run then skips implementation
+entirely.
 """
 
+import os
 import sys
 
 from repro.analysis import best_partition, format_resource_table, \
@@ -24,14 +29,18 @@ from repro.faults import (cache_stats, run_campaign, table3_report,
                           table4_report)
 
 
-def main(scale: str = "smoke", backend: str = "vector") -> None:
+def main(scale: str = "smoke", backend: str = "vector",
+         jobs: int = 1) -> None:
     print(f"building the five filter versions at scale {scale!r} ...")
     suite = build_design_suite(scale)
     print(f"  filter: {suite.spec.taps} taps, {suite.spec.data_width}-bit "
           f"samples, coefficients {suite.spec.coefficients}")
 
-    print("implementing (pack / place / route / bitstream) ...")
-    implementations = implement_design_suite(suite)
+    flow_cache = os.environ.get("REPRO_FLOW_CACHE")
+    print(f"implementing (pack / place / route / bitstream; jobs={jobs}, "
+          f"flow cache {flow_cache or 'off'}) ...")
+    implementations = implement_design_suite(suite, jobs=jobs,
+                                             artifact_store=flow_cache)
     for name in DESIGN_ORDER:
         summary = implementations[name].summary()
         print(f"  {name:10s}: {summary['slices']:4d} slices, "
@@ -78,4 +87,5 @@ def main(scale: str = "smoke", backend: str = "vector") -> None:
 
 if __name__ == "__main__":
     main(sys.argv[1] if len(sys.argv) > 1 else "smoke",
-         sys.argv[2] if len(sys.argv) > 2 else "batch")
+         sys.argv[2] if len(sys.argv) > 2 else "vector",
+         int(sys.argv[3]) if len(sys.argv) > 3 else 1)

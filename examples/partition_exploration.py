@@ -12,6 +12,8 @@ This example shows the supporting tooling on the FIR filter:
 Run with ``python examples/partition_exploration.py``.
 """
 
+import os
+
 from repro.core import (EveryKth, NoPartition, TMRConfig, apply_tmr,
                         pareto_front, sweep_partitions)
 from repro.experiments import build_design_suite, campaign_config_for
@@ -55,7 +57,9 @@ def main() -> None:
                            TMRConfig(partition=candidate.strategy,
                                      name_suffix=f"_{name}"))
         flat = flatten(netlist, result.definition, flat_name=f"{name}_flat")
-        implementation = implement(flat, device, anneal_moves_per_slice=2)
+        implementation = implement(
+            flat, device, anneal_moves_per_slice=2,
+            artifact_store=os.environ.get("REPRO_FLOW_CACHE"))
         campaign = run_campaign(implementation, config, backend="vector")
         print(f"  {candidate.strategy.describe():10s}: "
               f"{campaign.wrong_answer_percent:5.2f}% wrong answers "

@@ -21,8 +21,10 @@ from ..core import EveryKth, sweep_partitions
 from ..faults import CampaignConfig, CampaignResult, run_campaign
 from ..faults.engine import BACKEND_CHOICES, BackendLike, resolve_backend
 from ..pnr import Implementation
+from ..pnr.artifacts import StoreLike
 from .designs import (DesignSuite, build_design_suite,
                       implement_design_suite)
+from .table2 import add_flow_arguments
 from .table3 import campaign_config_for
 
 
@@ -43,16 +45,21 @@ def partition_sweep(suite: Optional[DesignSuite] = None, scale: str = "fast",
 
 def floorplan_study(suite: Optional[DesignSuite] = None, scale: str = "smoke",
                     design: str = "TMR_p3", num_faults: Optional[int] = None,
-                    backend: BackendLike = None) -> Dict[str, object]:
+                    backend: BackendLike = None,
+                    jobs: int = 1,
+                    flow_cache: StoreLike = None) -> Dict[str, object]:
     """Compare interleaved placement against per-domain floorplanning."""
     if suite is None:
         suite = build_design_suite(scale)
     config = campaign_config_for(suite, num_faults)
     engine = resolve_backend(backend)
 
-    interleaved = implement_design_suite(suite, designs=[design])[design]
-    floorplanned = implement_design_suite(suite, designs=[design],
-                                          floorplan_domains=True)[design]
+    interleaved = implement_design_suite(
+        suite, designs=[design], jobs=jobs,
+        artifact_store=flow_cache)[design]
+    floorplanned = implement_design_suite(
+        suite, designs=[design], floorplan_domains=True, jobs=jobs,
+        artifact_store=flow_cache)[design]
 
     result_interleaved = run_campaign(interleaved, config, backend=engine)
     result_floorplanned = run_campaign(floorplanned, config, backend=engine)
@@ -88,6 +95,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--backend", default="serial",
                         choices=BACKEND_CHOICES,
                         help="campaign execution backend")
+    add_flow_arguments(parser)
     arguments = parser.parse_args(argv)
 
     if arguments.study == "sweep":
@@ -95,7 +103,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                          default=str))
     else:
         print(json.dumps(floorplan_study(scale=arguments.scale,
-                                         backend=arguments.backend),
+                                         backend=arguments.backend,
+                                         jobs=arguments.jobs,
+                                         flow_cache=arguments.flow_cache),
                          indent=2, default=str))
     return 0
 

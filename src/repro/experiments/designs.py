@@ -19,6 +19,7 @@ from ..core import (AllComponents, ByComponentType, NoPartition, TMRConfig,
 from ..fpga import Device, device_by_name
 from ..netlist import Definition, Netlist, flatten
 from ..pnr import Floorplan, Implementation, implement
+from ..pnr.artifacts import StoreLike, flow_fingerprint, resolve_store
 from ..rtl import FirComponents, FirSpec, build_fir
 from ..techmap import merge_luts, remove_buffer_luts
 
@@ -118,6 +119,9 @@ class DesignSuite:
     flat: Dict[str, Definition]
     #: design name -> TMR transformation record (absent for "standard")
     tmr: Dict[str, TMRResult]
+    #: whether :func:`build_design_suite` ran the netlist optimizer
+    #: (recorded so parallel P&R workers can rebuild the same suite)
+    optimized: bool = True
 
 
 def tmr_configs() -> Dict[str, TMRConfig]:
@@ -170,6 +174,7 @@ def build_design_suite(scale: str = "fast", optimize: bool = True
         components=components,
         flat=flat,
         tmr=tmr_results,
+        optimized=optimize,
     )
 
 
@@ -179,21 +184,137 @@ def device_for(suite: DesignSuite, design_name: str) -> Device:
     return device_by_name(profile)
 
 
+def _suite_floorplan(device: Device, name: str,
+                     floorplan_domains: bool) -> Optional[Floorplan]:
+    if floorplan_domains and name != "standard":
+        return Floorplan.vertical_thirds(device)
+    return None
+
+
+def _implement_suite_worker(scale: str, optimize: bool, name: str,
+                            floorplan_domains: bool, seed: int,
+                            expected_fingerprint: str
+                            ) -> Tuple[str, Optional[Implementation]]:
+    """Implement one suite design in a worker process.
+
+    The flat netlist graph is deeply recursive and does not pickle, so the
+    worker rebuilds the suite from its (scale, optimize) recipe instead of
+    receiving the definition.  The rebuilt netlist must fingerprint to the
+    value the parent computed — a mismatch (a nondeterministic build, or a
+    caller-constructed suite the recipe cannot reproduce) returns ``None``
+    and the parent falls back to implementing that design in-process.  The
+    returned implementation travels without its netlist; the parent
+    re-attaches its own definition.
+    """
+    suite = build_design_suite(scale, optimize=optimize)
+    definition = suite.flat[name]
+    device = device_for(suite, name)
+    floorplan = _suite_floorplan(device, name, floorplan_domains)
+    fingerprint = flow_fingerprint(
+        definition, device, seed=seed, floorplan=floorplan,
+        anneal_moves_per_slice=suite.scale.anneal_moves_per_slice)
+    if fingerprint != expected_fingerprint:
+        return name, None
+    implementation = implement(
+        definition, device, seed=seed, floorplan=floorplan,
+        anneal_moves_per_slice=suite.scale.anneal_moves_per_slice)
+    return name, dataclasses.replace(implementation, design=None)
+
+
 def implement_design_suite(suite: DesignSuite,
                            designs: Optional[List[str]] = None,
                            floorplan_domains: bool = False,
                            seed: int = 1,
+                           jobs: int = 1,
+                           artifact_store: StoreLike = None,
                            ) -> Dict[str, Implementation]:
-    """Place and route the selected design versions."""
+    """Place and route the selected design versions.
+
+    *artifact_store* (a directory path or
+    :class:`~repro.pnr.FlowArtifactStore`) consults the persistent flow
+    cache first and stores fresh implementations back, so a second run of
+    any experiment CLI skips place-and-route entirely.  *jobs* implements
+    cache-missing designs in that many parallel worker processes (the five
+    suite designs are independent); results are bit-identical to the
+    serial flow in either case.
+    """
     names = list(designs) if designs is not None else list(DESIGN_ORDER)
-    implementations: Dict[str, Implementation] = {}
+    store = resolve_store(artifact_store)
+
+    fingerprints: Dict[str, str] = {}
+    implementations: Dict[str, Optional[Implementation]] = {}
+    pending: List[str] = []
     for name in names:
         definition = suite.flat[name]
         device = device_for(suite, name)
-        floorplan = None
-        if floorplan_domains and name != "standard":
-            floorplan = Floorplan.vertical_thirds(device)
+        floorplan = _suite_floorplan(device, name, floorplan_domains)
+        fingerprints[name] = flow_fingerprint(
+            definition, device, seed=seed, floorplan=floorplan,
+            anneal_moves_per_slice=suite.scale.anneal_moves_per_slice)
+        cached = store.load(fingerprints[name], definition) \
+            if store is not None else None
+        implementations[name] = cached
+        if cached is None:
+            pending.append(name)
+
+    if len(pending) > 1 and jobs > 1:
+        implementations.update(
+            _implement_parallel(suite, pending, floorplan_domains, seed,
+                                jobs, fingerprints))
+
+    for name in pending:
+        if implementations[name] is not None:
+            continue
+        definition = suite.flat[name]
+        device = device_for(suite, name)
+        floorplan = _suite_floorplan(device, name, floorplan_domains)
         implementations[name] = implement(
             definition, device, seed=seed, floorplan=floorplan,
             anneal_moves_per_slice=suite.scale.anneal_moves_per_slice)
-    return implementations
+
+    if store is not None:
+        for name in pending:
+            if implementations[name] is not None:
+                store.store(fingerprints[name], implementations[name])
+
+    return {name: implementations[name] for name in names}
+
+
+def _implement_parallel(suite: DesignSuite, pending: List[str],
+                        floorplan_domains: bool, seed: int, jobs: int,
+                        fingerprints: Dict[str, str]
+                        ) -> Dict[str, Implementation]:
+    """Fan the cache-missing designs out over worker processes.
+
+    Any worker failure (pickling quirks on an exotic start method, a
+    fingerprint mismatch, a crashed interpreter) leaves the affected
+    design unimplemented; the caller's serial pass picks it up, so
+    parallelism is purely an accelerator and never a correctness risk.
+    """
+    import multiprocessing
+    from concurrent.futures import ProcessPoolExecutor
+
+    try:
+        mp_context = multiprocessing.get_context("fork")
+    except ValueError:
+        mp_context = multiprocessing.get_context()
+
+    results: Dict[str, Implementation] = {}
+    max_workers = max(1, min(jobs, len(pending)))
+    try:
+        with ProcessPoolExecutor(max_workers=max_workers,
+                                 mp_context=mp_context) as pool:
+            futures = [
+                pool.submit(_implement_suite_worker, suite.scale.name,
+                            suite.optimized, name, floorplan_domains, seed,
+                            fingerprints[name])
+                for name in pending]
+            for future in futures:
+                name, implementation = future.result()
+                if implementation is not None:
+                    implementation.design = suite.flat[name]
+                    results[name] = implementation
+    except Exception:
+        # Fall back to the serial path for everything not yet produced.
+        pass
+    return results

@@ -215,6 +215,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         choices=BACKEND_CHOICES,
                         help="campaign execution backend for --upsets")
     parser.add_argument("--json", action="store_true")
+    from .table2 import add_flow_arguments
+
+    add_flow_arguments(parser)
     arguments = parser.parse_args(argv)
 
     suite = build_design_suite(arguments.scale)
@@ -223,7 +226,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from .designs import implement_design_suite
 
         implementation = implement_design_suite(
-            suite, designs=["TMR_p3"])["TMR_p3"]
+            suite, designs=["TMR_p3"], jobs=arguments.jobs,
+            artifact_store=arguments.flow_cache)["TMR_p3"]
         summary["figure1_upsets"] = figure1_upset_demo(
             implementation, backend=arguments.backend)
     if arguments.json:

@@ -9,23 +9,41 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 from typing import Dict, Optional, Sequence
 
 from ..analysis import (area_overhead, format_resource_table,
                         performance_degradation, resource_table)
 from ..pnr import Implementation
+from ..pnr.artifacts import StoreLike
 from .designs import (DESIGN_ORDER, PAPER_TABLE2_FMAX, PAPER_TABLE2_SLICES,
                       DesignSuite, build_design_suite, implement_design_suite)
 
 
+def add_flow_arguments(parser: argparse.ArgumentParser) -> None:
+    """The implementation-flow knobs shared by every experiment CLI."""
+    parser.add_argument(
+        "--flow-cache", metavar="DIR",
+        default=os.environ.get("REPRO_FLOW_CACHE"),
+        help="persistent flow-artifact directory; place-and-route results "
+             "are stored there and reused by later runs (default: the "
+             "REPRO_FLOW_CACHE environment variable, else disabled)")
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="implement the suite designs in N parallel worker processes "
+             "(default: 1)")
+
+
 def run_table2(suite: Optional[DesignSuite] = None,
                implementations: Optional[Dict[str, Implementation]] = None,
-               scale: str = "fast") -> Dict[str, Dict[str, object]]:
+               scale: str = "fast", jobs: int = 1,
+               flow_cache: StoreLike = None) -> Dict[str, Dict[str, object]]:
     """Compute the Table 2 analogue; returns one dict per design."""
     if suite is None:
         suite = build_design_suite(scale)
     if implementations is None:
-        implementations = implement_design_suite(suite)
+        implementations = implement_design_suite(suite, jobs=jobs,
+                                                 artifact_store=flow_cache)
     rows = resource_table(implementations, order=DESIGN_ORDER)
     overhead = area_overhead(rows, "standard")
     slowdown = performance_degradation(rows, "standard")
@@ -71,9 +89,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="experiment scale (default: fast)")
     parser.add_argument("--json", action="store_true",
                         help="emit machine-readable JSON instead of a table")
+    add_flow_arguments(parser)
     arguments = parser.parse_args(argv)
 
-    table = run_table2(scale=arguments.scale)
+    table = run_table2(scale=arguments.scale, jobs=arguments.jobs,
+                       flow_cache=arguments.flow_cache)
     if arguments.json:
         print(json.dumps(table, indent=2))
     else:

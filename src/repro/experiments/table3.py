@@ -18,8 +18,10 @@ from ..faults import CampaignConfig, CampaignResult, run_campaign, \
     table3_report
 from ..faults.engine import BACKEND_CHOICES, BackendLike, resolve_backend
 from ..pnr import Implementation
+from ..pnr.artifacts import StoreLike
 from .designs import (DESIGN_ORDER, PAPER_TABLE3_PERCENT, DesignSuite,
                       build_design_suite, implement_design_suite)
+from .table2 import add_flow_arguments
 
 
 def campaign_config_for(suite: DesignSuite,
@@ -40,17 +42,22 @@ def run_table3(suite: Optional[DesignSuite] = None,
                scale: str = "fast", num_faults: Optional[int] = None,
                fault_list_mode: str = "design",
                progress: bool = False,
-               backend: BackendLike = None) -> Dict[str, CampaignResult]:
+               backend: BackendLike = None,
+               jobs: int = 1,
+               flow_cache: StoreLike = None) -> Dict[str, CampaignResult]:
     """Run the Table 3 campaigns and return one result per design.
 
     *backend* selects the campaign execution backend (``"serial"``,
     ``"batch"``, ``"process"`` or the bit-parallel ``"vector"``); every
-    backend yields identical results.
+    backend yields identical results.  *jobs* and *flow_cache* speed up
+    the implementation step (parallel place-and-route, persistent flow
+    artifacts) without changing any campaign number.
     """
     if suite is None:
         suite = build_design_suite(scale)
     if implementations is None:
-        implementations = implement_design_suite(suite)
+        implementations = implement_design_suite(suite, jobs=jobs,
+                                                 artifact_store=flow_cache)
     config = campaign_config_for(suite, num_faults, fault_list_mode)
     engine = resolve_backend(backend)
 
@@ -97,11 +104,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         choices=BACKEND_CHOICES,
                         help="campaign execution backend")
     parser.add_argument("--json", action="store_true")
+    add_flow_arguments(parser)
     arguments = parser.parse_args(argv)
 
     results = run_table3(scale=arguments.scale, num_faults=arguments.faults,
                          fault_list_mode=arguments.fault_list, progress=True,
-                         backend=arguments.backend)
+                         backend=arguments.backend, jobs=arguments.jobs,
+                         flow_cache=arguments.flow_cache)
     if arguments.json:
         payload = {name: result.summary_row()
                    for name, result in results.items()}

@@ -18,6 +18,7 @@ from ..faults.engine import BACKEND_CHOICES, BackendLike
 from ..pnr import Implementation
 from .designs import DESIGN_ORDER, DesignSuite, build_design_suite, \
     implement_design_suite
+from .table2 import add_flow_arguments
 from .table3 import run_table3
 
 #: Error-causing effect counts from the paper's Table 4 (for reference).
@@ -82,10 +83,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         choices=BACKEND_CHOICES,
                         help="campaign execution backend")
     parser.add_argument("--json", action="store_true")
+    add_flow_arguments(parser)
     arguments = parser.parse_args(argv)
 
     results = run_table3(scale=arguments.scale, num_faults=arguments.faults,
-                         progress=True, backend=arguments.backend)
+                         progress=True, backend=arguments.backend,
+                         jobs=arguments.jobs,
+                         flow_cache=arguments.flow_cache)
     if arguments.json:
         print(json.dumps({
             "measured": run_table4(results),

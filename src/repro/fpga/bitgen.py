@@ -177,8 +177,14 @@ def compute_design_bit_stats(device: Device, layout: ConfigLayout,
     candidate PIPs of every used destination node, not just the ones turned
     on), *LUT bits* are the truth-table bits of used LUTs and *CLB flip-flop
     bits* are the slice configuration bits of used flip-flops.
+
+    The per-node candidate counts come from the layout's memoized
+    fan-in tables (one dictionary lookup per used node) instead of the
+    seed's linear scan over each tile's PIP list; the counts are the same
+    integers, asserted by the flow-equivalence tests against
+    :func:`repro.pnr.reference.reference_bit_stats`.
     """
-    from .routing import pips_into_tile
+    from .routing import node_tile
 
     lut_bits = LUT_BITS * len(lut_sites)
     ff_bits = 0
@@ -191,15 +197,9 @@ def compute_design_bit_stats(device: Device, layout: ConfigLayout,
     used_destinations = {node for node in routing.node_owner
                          if node[0] in ("wire", "ipin", "pad_i")}
     routing_bits = 0
-    counted_tiles: Dict[Tuple[int, int], List] = {}
     for node in used_destinations:
-        from .routing import node_tile
-
         tile = node_tile(device, node)
-        if tile not in counted_tiles:
-            counted_tiles[tile] = pips_into_tile(device, *tile)
-        routing_bits += sum(1 for pip in counted_tiles[tile]
-                            if pip[1] == node)
+        routing_bits += layout.pip_fanin_counts(*tile).get(node, 0)
 
     return BitstreamStats(routing_bits=routing_bits, lut_bits=lut_bits,
                           ff_bits=ff_bits)

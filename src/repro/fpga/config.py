@@ -71,7 +71,19 @@ class ConfigLayout:
         self._pip_count_cache: Dict[Tuple, int] = {}
         self._tile_pip_cache: Dict[Tuple[int, int], List[Pip]] = {}
         self._tile_pip_index_cache: Dict[Tuple[int, int], Dict[Pip, int]] = {}
+        self._tile_fanin_cache: Dict[Tuple[int, int], Dict[Tuple, int]] = {}
         self.total_bits = self._assign_tiles()
+
+    def __getstate__(self) -> Dict[str, object]:
+        # The per-tile PIP caches are large, derived purely from the
+        # device, and rebuilt on demand; keep them out of pickled
+        # implementations (the on-disk flow-artifact store).
+        state = self.__dict__.copy()
+        state["_pip_count_cache"] = {}
+        state["_tile_pip_cache"] = {}
+        state["_tile_pip_index_cache"] = {}
+        state["_tile_fanin_cache"] = {}
+        return state
 
     # ------------------------------------------------------------------
     def _tile_class(self, x: int, y: int) -> Tuple:
@@ -133,6 +145,22 @@ class ConfigLayout:
                 pip: index for index, pip in enumerate(self._tile_pips(x, y))}
         return self._tile_pip_index_cache[key]
 
+    def pip_fanin_counts(self, x: int, y: int) -> Dict[Tuple, int]:
+        """Candidate-PIP count per destination node of one tile.
+
+        This is the quantity the Table 2 bit accounting sums per used
+        destination; precomputing it turns the seed's linear scan over the
+        tile's PIP list (per node!) into one dictionary lookup.
+        """
+        key = (x, y)
+        counts = self._tile_fanin_cache.get(key)
+        if counts is None:
+            counts = {}
+            for _source, destination in self._tile_pips(x, y):
+                counts[destination] = counts.get(destination, 0) + 1
+            self._tile_fanin_cache[key] = counts
+        return counts
+
     # ------------------------------------------------------------------
     def bit_of(self, resource: Resource) -> int:
         """Global bit address of a resource."""
@@ -181,6 +209,26 @@ class ConfigLayout:
     def routing_bit_count(self) -> int:
         """Total number of PIP bits in the device."""
         return self.total_bits - TILE_LOGIC_BITS * self.device.spec.num_tiles
+
+
+#: ConfigLayout per DeviceSpec.  The layout is a pure function of the
+#: device geometry, so one instance (and its lazily filled PIP caches)
+#: serves every design implemented on that profile.
+_LAYOUT_CACHE: Dict[object, ConfigLayout] = {}
+
+
+def shared_layout(device: Device) -> ConfigLayout:
+    """The memoized configuration layout of a device profile."""
+    layout = _LAYOUT_CACHE.get(device.spec)
+    if layout is None:
+        layout = ConfigLayout(device)
+        _LAYOUT_CACHE[device.spec] = layout
+    return layout
+
+
+def clear_layout_cache() -> None:
+    """Drop memoized layouts (used by cold-start benchmarks)."""
+    _LAYOUT_CACHE.clear()
 
 
 @dataclasses.dataclass

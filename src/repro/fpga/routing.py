@@ -214,6 +214,108 @@ def downhill(device: Device, node: Node) -> List[Node]:
     return result
 
 
+# ----------------------------------------------------------------------
+# Flat indexed routing-resource graph
+# ----------------------------------------------------------------------
+class RoutingGraph:
+    """The device's routing resources as flat integer-indexed arrays.
+
+    The router's A* search spends nearly all of its time hashing node
+    tuples into cost/occupancy dictionaries and re-deriving neighbour
+    lists.  This class enumerates the full node universe once per device,
+    assigns every node an integer id, and exposes
+
+    * ``node_id`` / ``nodes`` — the tuple <-> id bijection,
+    * ``tile_x`` / ``tile_y`` — per-id tile coordinates (a pad maps to its
+      perimeter tile),
+    * ``is_sink`` / ``is_wire`` / ``is_pad_in`` — per-id kind predicates,
+    * ``downhill_ids`` — per-id neighbour ids, computed lazily in exactly
+      the order :func:`downhill` emits them (so heap tie-breaking, and
+      therefore every route tree, is bit-identical to the tuple router).
+
+    Ids are assigned in sorted node-tuple order, so sorting ids is the
+    same as sorting tuples — the property the router's deterministic
+    frontier seeding relies on.
+
+    Graphs are memoized per :class:`~repro.fpga.device.DeviceSpec` via
+    :func:`routing_graph`; one graph serves every net, negotiation
+    iteration, design and placement attempt on that device profile.
+    """
+
+    def __init__(self, device: Device) -> None:
+        self.device = device
+        width = device.spec.wires_per_direction
+        nodes: List[Node] = []
+        for x in range(device.columns):
+            for y in range(device.rows):
+                for pin in SLICE_OUTPUT_PINS:
+                    nodes.append(opin(x, y, pin))
+                for pin in SLICE_INPUT_PINS:
+                    nodes.append(ipin(x, y, pin))
+                for direction in DIRECTIONS:
+                    if device.wire_exists(x, y, direction):
+                        for index in range(width):
+                            nodes.append(wire(x, y, direction, index))
+        for pad in device.pads:
+            nodes.append(pad_output(pad.index))
+            nodes.append(pad_input(pad.index))
+        nodes.sort()
+        self.nodes: List[Node] = nodes
+        self.node_id: Dict[Node, int] = {
+            node: index for index, node in enumerate(nodes)}
+        count = len(nodes)
+        self.tile_x: List[int] = [0] * count
+        self.tile_y: List[int] = [0] * count
+        self.is_sink: List[bool] = [False] * count
+        self.is_wire: List[bool] = [False] * count
+        self.is_pad_in: List[bool] = [False] * count
+        for index, node in enumerate(nodes):
+            tile = node_tile(device, node)
+            self.tile_x[index] = tile[0]
+            self.tile_y[index] = tile[1]
+            kind = node[0]
+            self.is_sink[index] = kind in ("ipin", "pad_i")
+            self.is_wire[index] = kind == "wire"
+            self.is_pad_in[index] = kind == "pad_i"
+        #: lazily filled per-id neighbour lists (None until first visited)
+        self._adjacency: List[Optional[List[int]]] = [None] * count
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def id_of(self, node: Node) -> int:
+        return self.node_id[node]
+
+    def downhill_ids(self, node_id: int) -> List[int]:
+        """Neighbour ids of a node, in :func:`downhill` order."""
+        adjacency = self._adjacency[node_id]
+        if adjacency is None:
+            lookup = self.node_id
+            adjacency = [lookup[neighbor] for neighbor
+                         in downhill(self.device, self.nodes[node_id])]
+            self._adjacency[node_id] = adjacency
+        return adjacency
+
+
+#: RoutingGraph per DeviceSpec; specs are frozen dataclasses, and the
+#: handful of device profiles bounds this cache naturally.
+_GRAPH_CACHE: Dict[object, RoutingGraph] = {}
+
+
+def routing_graph(device: Device) -> RoutingGraph:
+    """The memoized flat routing graph of a device profile."""
+    graph = _GRAPH_CACHE.get(device.spec)
+    if graph is None:
+        graph = RoutingGraph(device)
+        _GRAPH_CACHE[device.spec] = graph
+    return graph
+
+
+def clear_routing_graph_cache() -> None:
+    """Drop memoized routing graphs (used by cold-start benchmarks)."""
+    _GRAPH_CACHE.clear()
+
+
 def pips_into_tile(device: Device, x: int, y: int) -> List[Pip]:
     """All PIPs whose configuration bit lives in tile ``(x, y)``.
 

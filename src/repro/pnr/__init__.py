@@ -1,5 +1,7 @@
 """Packing, placement, routing and timing onto the FPGA device model."""
 
+from .artifacts import (FlowArtifactStore, TOOL_VERSION, flow_fingerprint,
+                        netlist_fingerprint, resolve_store)
 from .flow import Implementation, implement
 from .pack import PackResult, SliceAssignment, VIRTUAL_CELLS, pack
 from .place import Floorplan, Placement, place
@@ -14,5 +16,6 @@ __all__ = [
     "DirectConnection", "NetRequest", "Router", "RoutingError",
     "RoutingResult", "RouteTree", "SinkSpec", "SkippedNet",
     "extract_routing_problem", "route_design", "TimingReport",
-    "estimate_timing",
+    "estimate_timing", "FlowArtifactStore", "TOOL_VERSION",
+    "flow_fingerprint", "netlist_fingerprint", "resolve_store",
 ]

@@ -12,10 +12,11 @@ import dataclasses
 from typing import Dict, Optional
 
 from ..fpga.bitgen import UsedResources, generate_bitstream
-from ..fpga.config import ConfigLayout, ConfigMemory
+from ..fpga.config import ConfigLayout, ConfigMemory, shared_layout
 from ..fpga.device import Device
 from ..fpga.spartan2e import smallest_device_for
 from ..netlist.ir import Definition
+from .artifacts import StoreLike, flow_fingerprint, resolve_store
 from .pack import PackResult, pack
 from .place import Floorplan, Placement, place
 from .route import RoutingResult, route_design
@@ -62,7 +63,8 @@ def implement(definition: Definition, device: Optional[Device] = None,
               router_iterations: int = 20,
               allow_overuse: bool = False,
               target_utilization: float = 0.55,
-              layout: Optional[ConfigLayout] = None) -> Implementation:
+              layout: Optional[ConfigLayout] = None,
+              artifact_store: StoreLike = None) -> Implementation:
     """Implement a flat netlist on a device.
 
     When *device* is omitted the smallest profile that fits the design at a
@@ -70,12 +72,46 @@ def implement(definition: Definition, device: Optional[Device] = None,
     resolve congestion, the flow retries with a sparser placement (lower
     utilization target) before giving up — the same escalation a human would
     apply.
+
+    *artifact_store* (a directory path or
+    :class:`~repro.pnr.artifacts.FlowArtifactStore`) enables the persistent
+    flow cache: the call's inputs are fingerprinted, a stored
+    implementation with that fingerprint is returned directly, and a miss
+    stores the freshly computed one.  The flow is deterministic in its
+    fingerprinted inputs, so cached and recomputed implementations are
+    bit-identical.
     """
     from .route import RoutingError
+
+    store = resolve_store(artifact_store)
+    fingerprint = None
+
+    def lookup(target_device: Device):
+        return flow_fingerprint(
+            definition, target_device, seed=seed, floorplan=floorplan,
+            anneal_moves_per_slice=anneal_moves_per_slice,
+            router_iterations=router_iterations,
+            allow_overuse=allow_overuse,
+            target_utilization=target_utilization)
+
+    # With an explicit device the cache can answer before packing; the
+    # auto-sized path needs the pack statistics to pick the device first.
+    if store is not None and device is not None:
+        fingerprint = lookup(device)
+        cached = store.load(fingerprint, definition)
+        if cached is not None:
+            return cached
 
     packed = pack(definition)
     if device is None:
         device = smallest_device_for(packed.num_luts, packed.num_ffs)
+        if store is not None:
+            fingerprint = lookup(device)
+            cached = store.load(fingerprint, definition)
+            if cached is not None:
+                return cached
+    if layout is None:
+        layout = shared_layout(device)
 
     placement = None
     routing = None
@@ -100,7 +136,7 @@ def implement(definition: Definition, device: Optional[Device] = None,
     bitstream, resources, layout = generate_bitstream(
         definition, device, packed, placement, routing, layout)
 
-    return Implementation(
+    implementation = Implementation(
         design=definition,
         device=device,
         packing=packed,
@@ -111,3 +147,6 @@ def implement(definition: Definition, device: Optional[Device] = None,
         layout=layout,
         resources=resources,
     )
+    if store is not None and fingerprint is not None:
+        store.store(fingerprint, implementation)
+    return implementation

@@ -188,8 +188,13 @@ def place(definition: Definition, pack_result: PackResult, device: Device,
 
     if anneal_moves_per_slice > 0 and num_slices > 2 and floorplan is None:
         wirelength = _anneal(definition, pack_result, device, slice_tiles,
-                             cell_tiles, endpoints, rng,
+                             endpoints, rng,
                              anneal_moves_per_slice * num_slices)
+        # The anneal moves slices, not cells: rebuild the derived map once
+        # instead of patching it on every accepted swap.
+        for slice_index, tile in enumerate(slice_tiles):
+            for cell_name in pack_result.slices[slice_index].cells.values():
+                cell_tiles[cell_name] = tile
 
     port_pads = _assign_pads(definition, device)
 
@@ -204,27 +209,41 @@ def place(definition: Definition, pack_result: PackResult, device: Device,
 
 def _anneal(definition: Definition, pack_result: PackResult, device: Device,
             slice_tiles: List[Tuple[int, int]],
-            cell_tiles: Dict[str, Tuple[int, int]],
             endpoints: List[List[str]], rng: random.Random,
             moves: int) -> int:
-    """Pairwise-swap simulated annealing on slice locations."""
-    # Nets touching each slice, for incremental cost evaluation.
+    """Pairwise-swap simulated annealing on slice locations.
+
+    Cost evaluation is incremental: nets are reduced to slice-index lists
+    once, per-net half-perimeter lengths are cached, and a proposed swap
+    recomputes only the touched nets' bounding boxes — the same integers
+    the seed annealer produced by swapping cell tiles and re-deriving, so
+    the accept/reject sequence (and the RNG stream) is unchanged.
+    """
+    # Nets as slice-index lists, plus nets touching each slice.
     cell_slice: Dict[str, int] = {}
     for slice_index, assignment in enumerate(pack_result.slices):
         for cell in assignment.cells.values():
             cell_slice[cell] = slice_index
+    net_slices: List[List[int]] = []
     nets_of_slice: Dict[int, List[int]] = {}
     for net_index, cells in enumerate(endpoints):
+        slices_of_net: List[int] = []
+        seen_slices = set()
         for cell in cells:
-            nets_of_slice.setdefault(cell_slice[cell], []).append(net_index)
+            slice_index = cell_slice[cell]
+            if slice_index not in seen_slices:
+                seen_slices.add(slice_index)
+                slices_of_net.append(slice_index)
+                nets_of_slice.setdefault(slice_index, []).append(net_index)
+        net_slices.append(slices_of_net)
 
     def net_length(net_index: int) -> int:
-        cells = endpoints[net_index]
-        xs = [cell_tiles[c][0] for c in cells]
-        ys = [cell_tiles[c][1] for c in cells]
+        xs = [slice_tiles[s][0] for s in net_slices[net_index]]
+        ys = [slice_tiles[s][1] for s in net_slices[net_index]]
         return (max(xs) - min(xs)) + (max(ys) - min(ys))
 
-    current = sum(net_length(i) for i in range(len(endpoints)))
+    lengths = [net_length(i) for i in range(len(endpoints))]
+    current = sum(lengths)
     num_slices = len(slice_tiles)
     temperature = max(2.0, current / max(1, len(endpoints)) * 0.5)
 
@@ -234,26 +253,20 @@ def _anneal(definition: Definition, pack_result: PackResult, device: Device,
         if a == b:
             continue
         affected = set(nets_of_slice.get(a, ())) | set(nets_of_slice.get(b, ()))
-        before = sum(net_length(i) for i in affected)
-        _swap(pack_result, slice_tiles, cell_tiles, a, b)
-        after = sum(net_length(i) for i in affected)
+        before = sum(lengths[i] for i in affected)
+        slice_tiles[a], slice_tiles[b] = slice_tiles[b], slice_tiles[a]
+        new_lengths = {i: net_length(i) for i in affected}
+        after = sum(new_lengths.values())
         delta = after - before
         if delta <= 0 or rng.random() < pow(2.718281828, -delta / temperature):
             current += delta
+            for net_index, length in new_lengths.items():
+                lengths[net_index] = length
         else:
-            _swap(pack_result, slice_tiles, cell_tiles, a, b)
+            slice_tiles[a], slice_tiles[b] = slice_tiles[b], slice_tiles[a]
         if move and move % max(1, moves // 10) == 0:
             temperature = max(temperature * 0.7, 0.05)
     return current
-
-
-def _swap(pack_result: PackResult, slice_tiles: List[Tuple[int, int]],
-          cell_tiles: Dict[str, Tuple[int, int]], a: int, b: int) -> None:
-    slice_tiles[a], slice_tiles[b] = slice_tiles[b], slice_tiles[a]
-    for cell in pack_result.slices[a].cells.values():
-        cell_tiles[cell] = slice_tiles[a]
-    for cell in pack_result.slices[b].cells.values():
-        cell_tiles[cell] = slice_tiles[b]
 
 
 def _assign_pads(definition: Definition, device: Device

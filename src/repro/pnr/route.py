@@ -18,8 +18,8 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from ..cells.library import FF_CELLS, LUT_CELLS
 from ..fpga.device import (FF_DATA_PIN, FF_OUTPUT_PIN, FF_PAIRED_LUT,
                            LUT_INPUT_PIN, LUT_OUTPUT_PIN, Device)
-from ..fpga.routing import Node, Pip, downhill, node_tile, pad_input, \
-    pad_output, ipin, opin
+from ..fpga.routing import Node, Pip, RoutingGraph, node_tile, pad_input, \
+    pad_output, ipin, opin, routing_graph
 from ..netlist.ir import Definition, Instance, InstancePin, Net, TopPin
 from .pack import PackResult, VIRTUAL_CELLS
 from .place import Placement
@@ -77,19 +77,43 @@ class RouteTree:
         path.reverse()
         return path
 
+    def children(self) -> Dict[Node, List[Node]]:
+        """Child adjacency of the tree (node -> direct children).
+
+        Built once per tree and memoized: the routing-fault models query
+        :meth:`sinks_through` for every open/bridge/conflict upset of a
+        net, and walking each sink's parent chain per query is quadratic
+        on high-fanout nets.  The memo never goes stale because route
+        trees are immutable once the router returns them.
+        """
+        children = self.__dict__.get("_children")
+        if children is None:
+            children = {}
+            for node, parent in self.parent.items():
+                children.setdefault(parent, []).append(node)
+            self._children = children
+        return children
+
     def sinks_through(self, node: Node) -> List[SinkSpec]:
         """Sinks whose path from the source passes through *node*."""
-        result = []
-        for sink_node, spec in self.sinks.items():
-            current = sink_node
-            while True:
-                if current == node:
-                    result.append(spec)
-                    break
-                if current not in self.parent:
-                    break
-                current = self.parent[current]
-        return result
+        if node != self.source and node not in self.parent:
+            return []
+        children = self.children()
+        subtree = {node}
+        stack = [node]
+        while stack:
+            for child in children.get(stack.pop(), ()):
+                subtree.add(child)
+                stack.append(child)
+        return [spec for sink_node, spec in self.sinks.items()
+                if sink_node in subtree]
+
+    def __getstate__(self) -> Dict[str, object]:
+        # Keep pickled artifacts (the flow cache) free of the lazily
+        # built child index; it is rebuilt on demand after loading.
+        state = self.__dict__.copy()
+        state.pop("_children", None)
+        return state
 
 
 @dataclasses.dataclass
@@ -251,7 +275,18 @@ def extract_routing_problem(definition: Definition, pack_result: PackResult,
 # PathFinder-style router
 # ----------------------------------------------------------------------
 class Router:
-    """Negotiated-congestion router."""
+    """Negotiated-congestion router over the flat indexed routing graph.
+
+    The search itself is the seed PathFinder recipe, executed on integer
+    node ids from the device's memoized :class:`RoutingGraph` instead of
+    node tuples: cost, occupancy and history tables hash small ints, the
+    neighbour lists come precomputed in :func:`downhill` order, and tile
+    coordinates are array lookups.  Because ids are assigned in sorted
+    tuple order and neighbours keep their emission order, every heap
+    tie-break — and therefore every route tree — is bit-identical to the
+    seed tuple router (asserted against
+    :mod:`repro.pnr.reference` by the equivalence tests).
+    """
 
     def __init__(self, device: Device, max_iterations: int = 12,
                  present_factor: float = 0.5,
@@ -271,23 +306,20 @@ class Router:
         #: exploration is confined to the net's bounding box plus this margin
         #: (the margin grows on later negotiation iterations)
         self.bounding_box_margin = bounding_box_margin
-        self._downhill_cache: Dict[Node, List[Node]] = {}
+        self.graph: RoutingGraph = routing_graph(device)
         self._extra_margin = 0
-
-    def _downhill(self, node: Node) -> List[Node]:
-        cached = self._downhill_cache.get(node)
-        if cached is None:
-            cached = downhill(self.device, node)
-            self._downhill_cache[node] = cached
-        return cached
 
     # --------------------------------------------------------------
     def route(self, requests: Sequence[NetRequest]) -> Tuple[
             Dict[str, RouteTree], int]:
         """Route all requests; returns (trees, iterations used)."""
-        occupancy: Dict[Node, int] = {}
-        history: Dict[Node, float] = {}
+        graph = self.graph
+        is_wire = graph.is_wire
+        occupancy: Dict[int, int] = {}
+        history: Dict[int, float] = {}
         trees: Dict[str, RouteTree] = {}
+        #: per-net id set mirroring ``trees[name].nodes()``
+        tree_ids: Dict[str, Set[int]] = {}
         present_factor = self.present_factor
 
         order = sorted(requests, key=lambda r: (len(r.sinks), r.name))
@@ -298,28 +330,32 @@ class Router:
             # Congested designs get a progressively wider search window.
             self._extra_margin = 2 * (iteration - 1)
             for request in to_route:
-                existing = trees.pop(request.name, None)
+                existing = tree_ids.pop(request.name, None)
                 if existing is not None:
+                    trees.pop(request.name)
                     self._release(existing, occupancy)
-                tree = self._route_net(request, occupancy, history,
-                                       present_factor)
+                tree, ids = self._route_net(request, occupancy, history,
+                                            present_factor)
                 trees[request.name] = tree
-                self._claim(tree, occupancy)
+                tree_ids[request.name] = ids
+                self._claim(ids, occupancy)
 
-            overused = {node for node, count in occupancy.items()
-                        if count > 1 and node[0] == "wire"}
+            overused = {node_id for node_id, count in occupancy.items()
+                        if count > 1 and is_wire[node_id]}
             if not overused:
                 return trees, iteration
-            for node in overused:
-                history[node] = history.get(node, 0.0) + \
+            for node_id in overused:
+                history[node_id] = history.get(node_id, 0.0) + \
                     self.history_increment
             present_factor *= self.present_growth
+            # Rip up and reroute only the nets that touch an overused
+            # wire; everybody else keeps their tree and its claims.
             to_route = [request for request in order
-                        if trees[request.name].nodes() & overused]
+                        if tree_ids[request.name] & overused]
 
         if not self.allow_overuse:
-            overused = {node for node, count in occupancy.items()
-                        if count > 1 and node[0] == "wire"}
+            overused = {node_id for node_id, count in occupancy.items()
+                        if count > 1 and is_wire[node_id]}
             raise RoutingError(
                 f"router failed to resolve congestion after "
                 f"{self.max_iterations} iterations; {len(overused)} wires "
@@ -327,116 +363,124 @@ class Router:
         return trees, iteration
 
     # --------------------------------------------------------------
-    def _claim(self, tree: RouteTree, occupancy: Dict[Node, int]) -> None:
-        for node in tree.nodes():
-            occupancy[node] = occupancy.get(node, 0) + 1
+    def _claim(self, ids: Set[int], occupancy: Dict[int, int]) -> None:
+        for node_id in ids:
+            occupancy[node_id] = occupancy.get(node_id, 0) + 1
 
-    def _release(self, tree: RouteTree, occupancy: Dict[Node, int]) -> None:
-        for node in tree.nodes():
-            remaining = occupancy.get(node, 0) - 1
+    def _release(self, ids: Set[int], occupancy: Dict[int, int]) -> None:
+        for node_id in ids:
+            remaining = occupancy.get(node_id, 0) - 1
             if remaining <= 0:
-                occupancy.pop(node, None)
+                occupancy.pop(node_id, None)
             else:
-                occupancy[node] = remaining
+                occupancy[node_id] = remaining
 
-    def _node_cost(self, node: Node, occupancy: Dict[Node, int],
-                   history: Dict[Node, float],
-                   present_factor: float) -> float:
-        cost = 1.0 + history.get(node, 0.0)
-        usage = occupancy.get(node, 0)
-        if usage > 0 and node[0] == "wire":
-            cost += present_factor * usage
-        elif usage > 0:
-            # Pins are exclusive: make reuse by another net prohibitive.
-            cost += 1000.0
-        return cost
-
-    def _route_net(self, request: NetRequest, occupancy: Dict[Node, int],
-                   history: Dict[Node, float],
-                   present_factor: float) -> RouteTree:
-        device = self.device
+    def _route_net(self, request: NetRequest, occupancy: Dict[int, int],
+                   history: Dict[int, float], present_factor: float
+                   ) -> Tuple[RouteTree, Set[int]]:
+        graph = self.graph
+        id_of = graph.node_id
+        nodes = graph.nodes
+        source_id = id_of[request.source]
         parent: Dict[Node, Node] = {}
-        tree_nodes: Set[Node] = {request.source}
+        tree_ids: Set[int] = {source_id}
         sink_map: Dict[Node, SinkSpec] = {}
 
         # Grow the tree outwards: route near sinks first so that far sinks
         # can attach to an already-extended tree instead of searching from
         # the source every time.
-        source_tile = node_tile(device, request.source)
+        tile_x = graph.tile_x
+        tile_y = graph.tile_y
+        source_x = tile_x[source_id]
+        source_y = tile_y[source_id]
         ordered_sinks = sorted(
             request.sinks,
-            key=lambda spec: device.manhattan(
-                source_tile, node_tile(device, spec.node)))
+            key=lambda spec: abs(tile_x[id_of[spec.node]] - source_x)
+            + abs(tile_y[id_of[spec.node]] - source_y))
 
         bounding_box = self._net_bounding_box(request)
         for spec in ordered_sinks:
-            if spec.node in tree_nodes:
+            target_id = id_of[spec.node]
+            if target_id in tree_ids:
                 sink_map[spec.node] = spec
                 continue
-            path = self._find_path(tree_nodes, spec.node, occupancy, history,
+            path = self._find_path(tree_ids, target_id, occupancy, history,
                                    present_factor, bounding_box)
             if path is None:
                 # Retry once without the bounding-box restriction before
                 # declaring the sink unroutable.
-                path = self._find_path(tree_nodes, spec.node, occupancy,
+                path = self._find_path(tree_ids, target_id, occupancy,
                                        history, present_factor, None)
             if path is None:
                 raise RoutingError(
                     f"no path from {request.source} to {spec.node} "
                     f"for net {request.name!r}")
             previous = path[0]
-            for node in path[1:]:
+            for node_id in path[1:]:
+                node = nodes[node_id]
                 if node not in parent:
-                    parent[node] = previous
-                previous = node
-                tree_nodes.add(node)
+                    parent[node] = nodes[previous]
+                previous = node_id
+                tree_ids.add(node_id)
             sink_map[spec.node] = spec
 
-        return RouteTree(request.name, request.source, parent, sink_map)
+        return RouteTree(request.name, request.source, parent,
+                         sink_map), tree_ids
 
     def _net_bounding_box(self, request: NetRequest
                           ) -> Tuple[int, int, int, int]:
         """Bounding box (min x, min y, max x, max y) of the net's terminals,
         expanded by the configured margin."""
-        device = self.device
-        tiles = [node_tile(device, request.source)]
-        tiles.extend(node_tile(device, spec.node) for spec in request.sinks)
+        graph = self.graph
+        id_of = graph.node_id
+        tile_x = graph.tile_x
+        tile_y = graph.tile_y
+        terminal_ids = [id_of[request.source]]
+        terminal_ids.extend(id_of[spec.node] for spec in request.sinks)
+        xs = [tile_x[node_id] for node_id in terminal_ids]
+        ys = [tile_y[node_id] for node_id in terminal_ids]
         margin = self.bounding_box_margin + self._extra_margin
-        min_x = max(0, min(t[0] for t in tiles) - margin)
-        min_y = max(0, min(t[1] for t in tiles) - margin)
-        max_x = min(device.columns - 1, max(t[0] for t in tiles) + margin)
-        max_y = min(device.rows - 1, max(t[1] for t in tiles) + margin)
+        device = self.device
+        min_x = max(0, min(xs) - margin)
+        min_y = max(0, min(ys) - margin)
+        max_x = min(device.columns - 1, max(xs) + margin)
+        max_y = min(device.rows - 1, max(ys) + margin)
         return (min_x, min_y, max_x, max_y)
 
-    def _find_path(self, tree_nodes: Set[Node], target: Node,
-                   occupancy: Dict[Node, int], history: Dict[Node, float],
+    def _find_path(self, tree_ids: Set[int], target: int,
+                   occupancy: Dict[int, int], history: Dict[int, float],
                    present_factor: float,
                    bounding_box: Optional[Tuple[int, int, int, int]]
-                   ) -> Optional[List[Node]]:
-        device = self.device
-        target_tile = node_tile(device, target)
+                   ) -> Optional[List[int]]:
+        graph = self.graph
+        tile_x = graph.tile_x
+        tile_y = graph.tile_y
+        is_sink = graph.is_sink
+        is_wire = graph.is_wire
+        is_pad_in = graph.is_pad_in
+        adjacency = graph._adjacency
+        downhill_ids = graph.downhill_ids
         weight = self.heuristic_weight
+        target_x = tile_x[target]
+        target_y = tile_y[target]
 
-        def heuristic(node: Node) -> float:
-            return weight * device.manhattan(node_tile(device, node),
-                                             target_tile)
-
-        came_from: Dict[Node, Optional[Node]] = {}
-        best_cost: Dict[Node, float] = {}
-        frontier: List[Tuple[float, float, int, Node]] = []
+        came_from: Dict[int, int] = {}
+        best_cost: Dict[int, float] = {}
+        frontier: List[Tuple[float, float, int, int]] = []
         counter = 0
-        # Seed in sorted order: tree_nodes is a set of string-bearing
-        # tuples, so raw iteration order follows the per-process hash seed
-        # and equal-cost heap pops would pick different paths run to run.
-        for node in sorted(tree_nodes):
-            came_from[node] = None
-            best_cost[node] = 0.0
-            heapq.heappush(frontier, (heuristic(node), 0.0, counter, node))
+        # Seed in sorted id order; ids are assigned in sorted node-tuple
+        # order, so equal-cost heap pops match the seed router exactly and
+        # never depend on the per-process hash seed.
+        for node_id in sorted(tree_ids):
+            came_from[node_id] = -1
+            best_cost[node_id] = 0.0
+            estimate = weight * (abs(tile_x[node_id] - target_x)
+                                 + abs(tile_y[node_id] - target_y))
+            heapq.heappush(frontier, (estimate, 0.0, counter, node_id))
             counter += 1
 
         # Hot loop: the helpers are inlined because this search dominates the
         # implementation runtime of large TMR designs.
-        target_x, target_y = target_tile
         infinity = float("inf")
         heappush = heapq.heappush
         heappop = heapq.heappop
@@ -444,44 +488,50 @@ class Router:
         history_get = history.get
         best_get = best_cost.get
 
+        if bounding_box is not None:
+            box_min_x, box_min_y, box_max_x, box_max_y = bounding_box
+
         while frontier:
-            _, cost_so_far, _, node = heappop(frontier)
-            if cost_so_far > best_get(node, infinity):
+            _, cost_so_far, _, node_id = heappop(frontier)
+            if cost_so_far > best_get(node_id, infinity):
                 continue
-            if node == target:
-                path = [node]
-                current = node
-                while came_from[current] is not None:
+            if node_id == target:
+                path = [node_id]
+                current = node_id
+                while came_from[current] >= 0:
                     current = came_from[current]
                     path.append(current)
                 path.reverse()
                 return path
-            for neighbor in self._downhill(node):
-                kind = neighbor[0]
-                if kind in ("ipin", "pad_i") and neighbor != target:
+            neighbors = adjacency[node_id]
+            if neighbors is None:
+                neighbors = downhill_ids(node_id)
+            for neighbor in neighbors:
+                if is_sink[neighbor] and neighbor != target:
                     continue  # foreign sinks are not through-routing resources
-                if bounding_box is not None and kind == "wire":
-                    if not (bounding_box[0] <= neighbor[1] <= bounding_box[2]
-                            and bounding_box[1] <= neighbor[2]
-                            <= bounding_box[3]):
+                if bounding_box is not None and is_wire[neighbor]:
+                    if not (box_min_x <= tile_x[neighbor] <= box_max_x
+                            and box_min_y <= tile_y[neighbor]
+                            <= box_max_y):
                         continue
                 step = 1.0 + history_get(neighbor, 0.0)
                 usage = occupancy_get(neighbor, 0)
                 if usage:
-                    if kind == "wire":
+                    if is_wire[neighbor]:
                         step += present_factor * usage
                     else:
                         step += 1000.0
                 new_cost = cost_so_far + step
                 if new_cost < best_get(neighbor, infinity):
                     best_cost[neighbor] = new_cost
-                    came_from[neighbor] = node
+                    came_from[neighbor] = node_id
                     counter += 1
-                    if kind == "pad_i":
+                    if is_pad_in[neighbor]:
                         estimate = 0.0
                     else:
-                        estimate = weight * (abs(neighbor[1] - target_x)
-                                             + abs(neighbor[2] - target_y))
+                        estimate = weight * (abs(tile_x[neighbor] - target_x)
+                                             + abs(tile_y[neighbor]
+                                                   - target_y))
                     heappush(frontier, (new_cost + estimate, new_cost,
                                         counter, neighbor))
         return None

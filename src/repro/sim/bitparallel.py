@@ -756,7 +756,7 @@ def simulate_lanes(program: VectorProgram,
     design = program.design
     entries, pre_net_overrides = patch_program(program, overlays, all_mask)
     if cone is not None:
-        active_gates = set(cone.gate_indices)
+        active_gates = cone.gate_set
         entries = [entry for entry in entries
                    if entry.gate_index in active_gates]
         flip_flops = _build_flip_flops(design, overlays, cone.ff_indices,

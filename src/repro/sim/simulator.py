@@ -167,7 +167,7 @@ class Simulator:
                              "recorded with record_nets=True")
 
         if cone_mode:
-            active_gates = set(cone.gate_indices)
+            active_gates = cone.gate_set
             program = [entry for entry in self._gate_program
                        if entry[4] in active_gates]
             active_ffs = [design.flip_flops[i] for i in cone.ff_indices]

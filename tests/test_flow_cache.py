@@ -1,0 +1,164 @@
+"""Persistent flow-artifact store: hits, misses, recovery, equivalence."""
+
+import pickle
+
+import pytest
+
+from repro.fpga import device_by_name
+from repro.pnr import (FlowArtifactStore, Floorplan, TOOL_VERSION,
+                       flow_fingerprint, implement)
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return FlowArtifactStore(tmp_path / "flow-cache")
+
+
+def _same_implementation(a, b):
+    assert a.placement.slice_tiles == b.placement.slice_tiles
+    assert a.placement.port_pads == b.placement.port_pads
+    assert a.placement.wirelength == b.placement.wirelength
+    assert a.routing.routes.keys() == b.routing.routes.keys()
+    for name, tree in a.routing.routes.items():
+        assert tree.parent == b.routing.routes[name].parent
+        assert tree.sinks == b.routing.routes[name].sinks
+    assert a.routing.pip_owner == b.routing.pip_owner
+    assert bytes(a.bitstream.bits) == bytes(b.bitstream.bits)
+    assert a.resources.stats == b.resources.stats
+    assert a.timing == b.timing
+    assert a.packing.cell_site == b.packing.cell_site
+
+
+class TestStoreBasics:
+    def test_miss_then_hit_bit_identical(self, tiny_fir_flat, small_device,
+                                         store):
+        cold = implement(tiny_fir_flat, small_device,
+                         anneal_moves_per_slice=2, artifact_store=store)
+        assert store.stats.misses == 1 and store.stats.stores == 1
+        warm = implement(tiny_fir_flat, small_device,
+                         anneal_moves_per_slice=2, artifact_store=store)
+        assert store.stats.hits == 1
+        _same_implementation(cold, warm)
+        # The loaded artifact carries the caller's netlist, not a copy.
+        assert warm.design is tiny_fir_flat
+
+    def test_store_accepts_directory_path(self, tiny_fir_flat, small_device,
+                                          tmp_path):
+        root = tmp_path / "by-path"
+        implement(tiny_fir_flat, small_device, anneal_moves_per_slice=2,
+                  artifact_store=str(root))
+        assert list(root.glob("*/*.pkl"))
+
+    def test_corrupt_entry_recovered(self, tiny_fir_flat, small_device,
+                                     store):
+        implement(tiny_fir_flat, small_device, anneal_moves_per_slice=2,
+                  artifact_store=store)
+        path = next(store.root.glob("*/*.pkl"))
+        path.write_bytes(b"not a pickle at all")
+        recovered = implement(tiny_fir_flat, small_device,
+                              anneal_moves_per_slice=2,
+                              artifact_store=store)
+        assert store.stats.corrupt_evictions == 1
+        assert recovered.routing.routes
+        # The recompute rewrote a good artifact; the next run hits again.
+        hits_before = store.stats.hits
+        implement(tiny_fir_flat, small_device, anneal_moves_per_slice=2,
+                  artifact_store=store)
+        assert store.stats.hits == hits_before + 1
+
+    def test_stale_tool_version_evicted(self, tiny_fir_flat, small_device,
+                                        store):
+        implement(tiny_fir_flat, small_device, anneal_moves_per_slice=2,
+                  artifact_store=store)
+        path = next(store.root.glob("*/*.pkl"))
+        payload = pickle.loads(path.read_bytes())
+        payload["tool_version"] = "flow-0-obsolete"
+        path.write_bytes(pickle.dumps(payload))
+        misses_before = store.stats.misses
+        implement(tiny_fir_flat, small_device, anneal_moves_per_slice=2,
+                  artifact_store=store)
+        assert store.stats.misses == misses_before + 1
+        assert store.stats.corrupt_evictions == 1
+
+    def test_stored_artifact_detaches_netlist(self, tiny_fir_flat,
+                                              small_device, store):
+        implement(tiny_fir_flat, small_device, anneal_moves_per_slice=2,
+                  artifact_store=store)
+        path = next(store.root.glob("*/*.pkl"))
+        payload = pickle.loads(path.read_bytes())
+        assert payload["implementation"].design is None
+        assert payload["design_name"] == tiny_fir_flat.name
+
+
+class TestFingerprint:
+    def test_key_stability_and_sensitivity(self, tiny_fir_flat,
+                                           small_device):
+        base = flow_fingerprint(tiny_fir_flat, small_device, seed=1)
+        assert base == flow_fingerprint(tiny_fir_flat, small_device, seed=1)
+        assert base != flow_fingerprint(tiny_fir_flat, small_device, seed=2)
+        assert base != flow_fingerprint(tiny_fir_flat, small_device, seed=1,
+                                        anneal_moves_per_slice=9)
+        assert base != flow_fingerprint(tiny_fir_flat, small_device, seed=1,
+                                        router_iterations=5)
+        other_device = device_by_name("XC2S50E")
+        assert base != flow_fingerprint(tiny_fir_flat, other_device, seed=1)
+        floorplan = Floorplan.vertical_thirds(small_device)
+        assert base != flow_fingerprint(tiny_fir_flat, small_device, seed=1,
+                                        floorplan=floorplan)
+
+    def test_tool_version_in_key(self, tiny_fir_flat, small_device,
+                                 monkeypatch):
+        from repro.pnr import artifacts
+
+        base = flow_fingerprint(tiny_fir_flat, small_device)
+        monkeypatch.setattr(artifacts, "TOOL_VERSION",
+                            TOOL_VERSION + "-next")
+        assert flow_fingerprint(tiny_fir_flat, small_device) != base
+
+
+class TestSuiteIntegration:
+    """Cache-hit runs reproduce the experiment tables byte for byte."""
+
+    @pytest.fixture(scope="class")
+    def smoke_suite(self):
+        from repro.experiments import build_design_suite
+
+        return build_design_suite("smoke")
+
+    def test_tables_identical_cold_vs_cache_hit(self, smoke_suite, tmp_path):
+        import json
+
+        from repro.experiments import (implement_design_suite, run_table3,
+                                       run_table4)
+
+        store = FlowArtifactStore(tmp_path / "suite-cache")
+        designs = ["standard", "TMR_p3"]
+        cold = implement_design_suite(smoke_suite, designs=designs,
+                                      artifact_store=store)
+        warm = implement_design_suite(smoke_suite, designs=designs,
+                                      artifact_store=store)
+        assert store.stats.hits == len(designs)
+        for name in designs:
+            _same_implementation(cold[name], warm[name])
+
+        def tables(implementations):
+            results = run_table3(suite=smoke_suite,
+                                 implementations=implementations,
+                                 num_faults=40, backend="vector")
+            payload = {name: result.summary_row()
+                       for name, result in results.items()}
+            payload["table4"] = run_table4(results)
+            return json.dumps(payload, sort_keys=True, default=str)
+
+        assert tables(cold) == tables(warm)
+
+    def test_parallel_jobs_match_serial(self, smoke_suite):
+        from repro.experiments import implement_design_suite
+
+        designs = ["standard", "TMR_p3_nv"]
+        serial = implement_design_suite(smoke_suite, designs=designs)
+        parallel = implement_design_suite(smoke_suite, designs=designs,
+                                          jobs=2)
+        for name in designs:
+            _same_implementation(serial[name], parallel[name])
+            assert parallel[name].design is smoke_suite.flat[name]
