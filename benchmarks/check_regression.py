@@ -8,7 +8,12 @@ normalized speedup regresses by more than the tolerance:
   ``speedup_vs_seed_serial`` per design;
 * ``BENCH_flow.json`` (optional, via ``--flow-baseline/--flow-current``)
   — the implementation flow's total ``cold_speedup_vs_seed`` and
-  ``warm_speedup_vs_seed``.
+  ``warm_speedup_vs_seed``;
+* pipeline-stage cache reuse (optional, via ``--pipeline-report``, one or
+  more warm-run JSON reports from ``python -m repro run ... --repeat 2``)
+  — the implement stage must be served entirely from the flow store and
+  the campaign stage must hit the golden-trace/fault-effect cache; a cold
+  stage on a warm run means a fingerprint or cache regression.
 
 Absolute seconds are machine-dependent, so every comparison uses a
 speedup over a seed replica measured on the *same* machine in the same
@@ -83,29 +88,94 @@ def check_flow(baseline: dict, current: dict, tolerance: float) -> list:
                     flow_speedups(current), tolerance)
 
 
+def _pipeline_runs(report: dict):
+    """Yield (label, single-run report) pairs, expanding matrix reports."""
+    runs = report.get("runs")
+    if runs:
+        for variant, sub in runs.items():
+            yield f"[{variant}]", sub
+    else:
+        yield "", report
+
+
+def check_pipeline(report: dict, label: str = "pipeline") -> list:
+    """Warm-run cache gate for one ``python -m repro run`` JSON report.
+
+    The report must come from a run whose caches were warm (``--repeat 2``
+    with a persistent ``--flow-cache``); the stage records then prove the
+    fingerprint-keyed reuse actually happened.
+    """
+    problems = []
+    if report.get("repeat", 1) < 2:
+        problems.append(f"{label}: report was produced with repeat="
+                        f"{report.get('repeat', 1)}; the cache gate needs "
+                        f"a warm run (--repeat 2)")
+        return problems
+    for variant, run in _pipeline_runs(report):
+        name = f"{label}{variant} ({run.get('scenario', '?')})"
+        stages = {stage["name"]: stage for stage in run.get("stages", [])}
+        implement = stages.get("implement")
+        if implement is not None:
+            cache = implement.get("cache", {})
+            if cache.get("hits", 0) < 1:
+                problems.append(f"{name}: implement stage had no "
+                                f"flow-store hits on a warm run")
+            if cache.get("misses", 0) > 0:
+                problems.append(f"{name}: implement stage missed the flow "
+                                f"store {cache['misses']} time(s) on a "
+                                f"warm run (stale fingerprint?)")
+        campaign = stages.get("campaign")
+        if campaign is not None:
+            cache = campaign.get("cache", {})
+            if cache.get("golden_hits", 0) < 1:
+                problems.append(f"{name}: campaign stage recomputed every "
+                                f"golden trace on a warm run")
+            if cache.get("effect_hits", 0) < 1:
+                problems.append(f"{name}: campaign stage recomputed every "
+                                f"fault effect on a warm run")
+    return problems
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--baseline", type=Path, required=True,
+    parser.add_argument("--baseline", type=Path, default=None,
                         help="committed BENCH_campaign.json")
-    parser.add_argument("--current", type=Path, required=True,
+    parser.add_argument("--current", type=Path, default=None,
                         help="freshly measured BENCH_campaign.json")
     parser.add_argument("--flow-baseline", type=Path, default=None,
                         help="committed BENCH_flow.json")
     parser.add_argument("--flow-current", type=Path, default=None,
                         help="freshly measured BENCH_flow.json")
+    parser.add_argument("--pipeline-report", type=Path, action="append",
+                        default=[], metavar="REPORT.json",
+                        help="warm-run 'python -m repro run --repeat 2' "
+                             "report to gate on pipeline-stage cache "
+                             "reuse (repeatable)")
     parser.add_argument("--tolerance", type=float, default=0.30,
                         help="allowed fractional drop of the best "
                         "speedup (default 0.30)")
     arguments = parser.parse_args(argv)
+    if arguments.baseline is None and arguments.flow_baseline is None \
+            and not arguments.pipeline_report:
+        parser.error("nothing to check: pass --baseline/--current, "
+                     "--flow-baseline/--flow-current and/or "
+                     "--pipeline-report")
+    if (arguments.baseline is None) != (arguments.current is None):
+        parser.error("--baseline and --current must be given together")
+    if (arguments.flow_baseline is None) != (arguments.flow_current is None):
+        parser.error("--flow-baseline and --flow-current must be given "
+                     "together")
 
-    baseline = json.loads(arguments.baseline.read_text())
-    current = json.loads(arguments.current.read_text())
-    problems = check(baseline, current, arguments.tolerance)
+    problems = []
+    if arguments.baseline is not None:
+        baseline = json.loads(arguments.baseline.read_text())
+        current = json.loads(arguments.current.read_text())
+        problems.extend(check(baseline, current, arguments.tolerance))
 
-    for design, reference in sorted(best_speedups(baseline).items()):
-        measured = best_speedups(current).get(design)
-        shown = f"{measured:.2f}x" if measured is not None else "missing"
-        print(f"{design}: baseline {reference:.2f}x -> current {shown}")
+        for design, reference in sorted(best_speedups(baseline).items()):
+            measured = best_speedups(current).get(design)
+            shown = f"{measured:.2f}x" if measured is not None else "missing"
+            print(f"{design}: baseline {reference:.2f}x -> current {shown}")
 
     if arguments.flow_baseline is not None and \
             arguments.flow_current is not None:
@@ -120,6 +190,14 @@ def main(argv=None) -> int:
             shown = f"{measured:.2f}x" if measured is not None else "missing"
             print(f"flow {metric}: baseline {reference:.2f}x -> "
                   f"current {shown}")
+    for path in arguments.pipeline_report:
+        report = json.loads(path.read_text())
+        report_problems = check_pipeline(report, label=path.name)
+        problems.extend(report_problems)
+        status = "ok" if not report_problems else \
+            f"{len(report_problems)} problem(s)"
+        print(f"pipeline {path.name} ({report.get('scenario', '?')}): "
+              f"cache reuse {status}")
     if problems:
         print("\nBenchmark regression detected:", file=sys.stderr)
         for problem in problems:

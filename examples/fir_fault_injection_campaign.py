@@ -1,88 +1,87 @@
 """Reproduce the paper's experiment on a reduced filter: Tables 2, 3 and 4.
 
-Builds the five versions of the FIR filter (unprotected plus the four TMR
-partitions), implements each on the device model, runs one bitstream
-fault-injection campaign per version and prints the three tables next to the
-paper's reference numbers.
+Runs the ``table4-fir`` scenario through the pipeline engine: build the
+five filter versions, implement each on the device model, run one
+bitstream fault-injection campaign per version and print the three tables
+next to the paper's reference numbers — followed by the pipeline's own
+stage/cache report.
 
 Run with ``python examples/fir_fault_injection_campaign.py [scale]
 [backend] [jobs]`` where *scale* is ``smoke`` (default, about a minute),
 ``fast`` or ``paper``, *backend* selects the campaign execution engine
 (``serial``, ``batch``, ``process``, or the bit-parallel ``vector`` — the
-default, which packs whole fault shards into big-int lanes), and *jobs*
-implements the five filter versions in that many parallel worker
-processes; every backend produces identical results.  Set the
-``REPRO_FLOW_CACHE`` environment variable to a directory to persist the
-place-and-route artifacts — a second run then skips implementation
-entirely.
+default), and *jobs* implements the five filter versions in that many
+parallel worker processes; every backend produces identical results.  Set
+the ``REPRO_FLOW_CACHE`` environment variable to a directory to persist
+the place-and-route artifacts — a second run then skips implementation
+entirely.  ``python -m repro run table4-fir`` is the equivalent CLI.
 """
 
 import os
 import sys
 
-from repro.analysis import best_partition, format_resource_table, \
-    improvement_factor, resource_table
-from repro.experiments import (DESIGN_ORDER, PAPER_TABLE3_PERCENT,
-                               build_design_suite, campaign_config_for,
-                               implement_design_suite)
-from repro.faults import (cache_stats, run_campaign, table3_report,
-                          table4_report)
+from repro import run_scenario
+from repro.analysis import format_resource_table, resource_table
+from repro.experiments import DESIGN_ORDER, PAPER_TABLE3_PERCENT
+from repro.faults import table3_report, table4_report
+from repro.pipeline import PipelineContext, pipeline_for
 
 
 def main(scale: str = "smoke", backend: str = "vector",
          jobs: int = 1) -> None:
-    print(f"building the five filter versions at scale {scale!r} ...")
-    suite = build_design_suite(scale)
-    print(f"  filter: {suite.spec.taps} taps, {suite.spec.data_width}-bit "
-          f"samples, coefficients {suite.spec.coefficients}")
-
     flow_cache = os.environ.get("REPRO_FLOW_CACHE")
-    print(f"implementing (pack / place / route / bitstream; jobs={jobs}, "
+    print(f"running scenario 'table4-fir' at scale {scale!r} "
+          f"(backend {backend!r}, jobs={jobs}, "
           f"flow cache {flow_cache or 'off'}) ...")
-    implementations = implement_design_suite(suite, jobs=jobs,
-                                             artifact_store=flow_cache)
+
+    # Drive the stages through an explicit context so the full
+    # CampaignResult objects stay available for the paper-style reports.
+    ctx = PipelineContext(scenario_id="table4-fir", scale=scale,
+                          designs=DESIGN_ORDER, backend=backend,
+                          jobs=jobs, flow_cache=flow_cache,
+                          analyses=("table3", "table4"))
+    report = pipeline_for(("build", "implement", "campaign",
+                           "analyze")).run(ctx)
+
+    print(f"  filter: {ctx.suite.spec.taps} taps, "
+          f"{ctx.suite.spec.data_width}-bit samples, "
+          f"coefficients {ctx.suite.spec.coefficients}")
     for name in DESIGN_ORDER:
-        summary = implementations[name].summary()
+        summary = ctx.implementations[name].summary()
         print(f"  {name:10s}: {summary['slices']:4d} slices, "
               f"{summary['routed_nets']:5d} nets, "
               f"{summary['fmax_mhz']:5.1f} MHz")
 
     print("\n" + format_resource_table(
-        resource_table(implementations, order=DESIGN_ORDER)))
+        resource_table(ctx.implementations, order=DESIGN_ORDER)))
 
-    config = campaign_config_for(suite)
-    print(f"\nrunning fault-injection campaigns "
-          f"({config.num_faults} upsets per design, "
-          f"backend {backend!r}) ...")
-    campaigns = {}
     for name in DESIGN_ORDER:
-        campaigns[name] = run_campaign(implementations[name], config,
-                                       backend=backend)
-        print(f"  {name:10s}: {campaigns[name].wrong_answer_percent:6.2f}% "
+        campaign = ctx.campaigns[name]
+        print(f"  {name:10s}: {campaign.wrong_answer_percent:6.2f}% "
               f"wrong answers "
               f"(paper: {PAPER_TABLE3_PERCENT[name]:6.2f}%)  "
-              f"[{campaigns[name].faults_per_second:7.0f} faults/s]")
+              f"[{campaign.faults_per_second:7.0f} faults/s]")
 
-    print("\n" + table3_report(campaigns, order=DESIGN_ORDER,
+    print("\n" + table3_report(ctx.campaigns, order=DESIGN_ORDER,
                                paper_reference=PAPER_TABLE3_PERCENT))
-    print("\n" + table4_report(campaigns, order=DESIGN_ORDER))
+    print("\n" + table4_report(ctx.campaigns, order=DESIGN_ORDER))
 
-    tmr_only = {name: campaigns[name] for name in DESIGN_ORDER
-                if name != "standard"}
-    best = best_partition(tmr_only)
-    print(f"\nbest TMR partition measured: {best} (paper: TMR_p2)")
-    print(f"improvement of TMR_p2 over unvoted registers: "
-          f"{improvement_factor(campaigns, 'TMR_p3_nv', 'TMR_p2'):.1f}x")
+    derived = report["derived"]["table3"]
+    print(f"\nbest TMR partition measured: "
+          f"{derived.get('best_tmr_partition')} (paper: TMR_p2)")
+    print(f"improvement TMR_p1 -> TMR_p2: "
+          f"{derived.get('improvement_p1_to_p2')}x (paper: ~4.1x)")
 
-    # Repeated campaigns are where the cache pays off: the golden trace,
-    # fault list and per-bit effects of TMR_p2 are all reused.
-    rerun = run_campaign(implementations["TMR_p2"], config, backend=backend)
-    stats = cache_stats()
-    print(f"re-running TMR_p2 against the warm cache: "
-          f"{rerun.faults_per_second:7.0f} faults/s "
-          f"(first run {campaigns['TMR_p2'].faults_per_second:7.0f}); "
-          f"{stats['golden_hits']} golden-trace and "
-          f"{stats['effect_hits']} fault-effect cache hits")
+    # Repeated runs are where the caches pay off: re-run the whole
+    # scenario and let the stage records show what was reused.
+    rerun = run_scenario("table4-fir", scale=scale, backend=backend,
+                         jobs=jobs, flow_cache=flow_cache)
+    print("\nwarm re-run stage report:")
+    for stage in rerun["stages"]:
+        cache = ", ".join(f"{key}={value}"
+                          for key, value in stage["cache"].items()
+                          if value) or "no cached artefacts touched"
+        print(f"  {stage['name']:10s} {stage['seconds']:7.2f}s  {cache}")
 
 
 if __name__ == "__main__":

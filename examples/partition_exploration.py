@@ -6,21 +6,20 @@ This example shows the supporting tooling on the FIR filter:
 
 * sweep voter granularities analytically (fast, no fault injection);
 * print the Pareto front of (defeat probability, voter area);
-* confirm the analytical picture with a short fault-injection campaign on
-  the two most interesting candidates.
+* confirm the analytical picture with the ``partition-shortlist``
+  pipeline scenario, which implements the Pareto-optimal candidates and
+  measures them with fault-injection campaigns.
 
-Run with ``python examples/partition_exploration.py``.
+Run with ``python examples/partition_exploration.py``; set
+``REPRO_FLOW_CACHE`` to reuse place-and-route artifacts across runs.
 """
 
 import os
 
-from repro.core import (EveryKth, NoPartition, TMRConfig, apply_tmr,
-                        pareto_front, sweep_partitions)
-from repro.experiments import build_design_suite, campaign_config_for
-from repro.faults import run_campaign
-from repro.fpga import device_by_name
-from repro.netlist import flatten
-from repro.pnr import implement
+from repro import run_scenario
+from repro.core import (EveryKth, NoPartition, pareto_front,
+                        sweep_partitions)
+from repro.experiments import build_design_suite
 
 
 def main() -> None:
@@ -47,23 +46,16 @@ def main() -> None:
               f"{candidate.voter_area_luts:4d} voter LUTs, "
               f"p = {candidate.defeat_probability:.4f}")
 
-    print("\nmeasuring the two extreme Pareto points with fault injection "
-          "(bit-parallel vector backend):")
-    config = campaign_config_for(suite)
-    device = device_by_name(suite.scale.tmr_device)
-    for candidate in (front[0], front[-1]):
-        name = f"explore_{candidate.strategy.describe().replace(':', '_')}"
-        result = apply_tmr(netlist, source,
-                           TMRConfig(partition=candidate.strategy,
-                                     name_suffix=f"_{name}"))
-        flat = flatten(netlist, result.definition, flat_name=f"{name}_flat")
-        implementation = implement(
-            flat, device, anneal_moves_per_slice=2,
-            artifact_store=os.environ.get("REPRO_FLOW_CACHE"))
-        campaign = run_campaign(implementation, config, backend="vector")
-        print(f"  {candidate.strategy.describe():10s}: "
-              f"{campaign.wrong_answer_percent:5.2f}% wrong answers "
-              f"({implementation.slice_count} slices)")
+    print("\nconfirming the shortlist with measured campaigns "
+          "(the 'partition-shortlist' pipeline scenario):")
+    report = run_scenario("partition-shortlist", scale="smoke",
+                          flow_cache=os.environ.get("REPRO_FLOW_CACHE"))
+    for name, entry in report["designs"].items():
+        campaign = entry["campaign"]
+        implementation = entry["implementation"]
+        print(f"  {name:28s}: {campaign['wrong_percent']:5.2f}% wrong "
+              f"answers ({implementation['slices']} slices, "
+              f"backend {campaign['backend']})")
 
 
 if __name__ == "__main__":

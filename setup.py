@@ -10,11 +10,16 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.0.0",
+    version="1.1.0",
     description=("Reproduction of 'On the Optimal Design of Triple Modular "
                  "Redundancy Logic for SRAM-based FPGAs' (DATE 2005)"),
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.10",
     install_requires=["numpy", "networkx"],
+    entry_points={
+        "console_scripts": [
+            "repro = repro.__main__:main",
+        ],
+    },
 )

@@ -20,9 +20,53 @@ The package provides, bottom-up:
 * :mod:`repro.faults` — bitstream fault injection, effect classification and
   campaign management;
 * :mod:`repro.analysis` — resource/robustness reports (paper Tables 2-4);
-* :mod:`repro.experiments` — drivers that regenerate every table and figure.
+* :mod:`repro.experiments` — drivers that regenerate every table and figure;
+* :mod:`repro.pipeline` — the declarative experiment pipeline engine
+  (fingerprint-keyed stages over flow/campaign caches);
+* :mod:`repro.scenarios` — the scenario registry and ``run_scenario``
+  (the ``python -m repro run <scenario>`` surface).
+
+The pipeline/scenario surface is re-exported lazily at the package level::
+
+    from repro import run_scenario
+    report = run_scenario("table3-fir", scale="smoke")
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["__version__"]
+#: Package-level name -> (module, attribute) for the lazy public API.
+_PUBLIC_API = {
+    "Pipeline": ("repro.pipeline", "Pipeline"),
+    "PipelineContext": ("repro.pipeline", "PipelineContext"),
+    "REPORT_SCHEMA": ("repro.pipeline", "REPORT_SCHEMA"),
+    "Stage": ("repro.pipeline", "Stage"),
+    "STAGE_LIBRARY": ("repro.pipeline", "STAGE_LIBRARY"),
+    "pipeline_for": ("repro.pipeline", "pipeline_for"),
+    "render_markdown": ("repro.pipeline", "render_markdown"),
+    "stable_report": ("repro.pipeline", "stable_report"),
+    "Scenario": ("repro.scenarios", "Scenario"),
+    "SCENARIOS": ("repro.scenarios", "SCENARIOS"),
+    "list_scenarios": ("repro.scenarios", "list_scenarios"),
+    "register_scenario": ("repro.scenarios", "register_scenario"),
+    "run_scenario": ("repro.scenarios", "run_scenario"),
+    "scenario_by_name": ("repro.scenarios", "scenario_by_name"),
+}
+
+__all__ = ["__version__"] + sorted(_PUBLIC_API)
+
+
+def __getattr__(name):
+    """Lazily resolve the pipeline/scenario API (keeps ``import repro``
+    light for callers that only want the low-level layers)."""
+    try:
+        module_name, attribute = _PUBLIC_API[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute "
+                             f"{name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attribute)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_PUBLIC_API))

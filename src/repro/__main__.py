@@ -1,0 +1,129 @@
+"""``python -m repro`` — the scenario pipeline command line.
+
+.. code-block:: console
+
+    $ python -m repro list
+    $ python -m repro run table3-fir --scale fast
+    $ python -m repro run upset-matrix --scale smoke --backend vector \\
+          --flow-cache .flow-cache --jobs 4 --json --output report.json
+
+``run`` executes one registered scenario through the pipeline engine and
+prints its report as Markdown (default) or JSON (``--json``); ``--output``
+additionally writes the JSON report to a file, so CI can both gate on it
+and archive it.  Every knob falls back to the scenario's own default.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from .experiments.cli import (add_backend_argument, add_faults_argument,
+                              add_flow_arguments, add_json_argument,
+                              add_scale_argument, add_upset_model_argument)
+from .pipeline import render_markdown
+from .scenarios import list_scenarios, run_scenario
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__.splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    runner = commands.add_parser(
+        "run", help="run a registered scenario through the pipeline",
+        description="Run one scenario; every omitted knob uses the "
+                    "scenario's default.")
+    runner.add_argument("scenario", help="scenario id (see 'repro list')")
+    add_scale_argument(runner, default=None)
+    add_backend_argument(runner, default=None)
+    add_upset_model_argument(runner, default=None)
+    add_faults_argument(runner)
+    runner.add_argument("--seed", type=int, default=None,
+                        help="fault-sampling seed (default: the "
+                             "scenario's)")
+    runner.add_argument("--design", action="append", dest="designs",
+                        metavar="NAME", default=None,
+                        help="restrict to one design version (repeatable)")
+    runner.add_argument("--repeat", type=int, default=1, metavar="N",
+                        help="run the scenario N times in-process and "
+                             "report the last (warm-cache) run "
+                             "(default: 1)")
+    add_flow_arguments(runner)
+    runner.add_argument("--progress", action="store_true",
+                        help="print per-design campaign progress to stderr")
+    add_json_argument(runner)
+    runner.add_argument("--output", metavar="FILE", default=None,
+                        help="also write the JSON report to FILE")
+
+    lister = commands.add_parser(
+        "list", help="list the registered scenarios")
+    add_json_argument(lister)
+    return parser
+
+
+def _run(arguments: argparse.Namespace) -> int:
+    report = run_scenario(
+        arguments.scenario,
+        scale=arguments.scale,
+        backend=arguments.backend,
+        upset_model=arguments.upset_model,
+        num_faults=arguments.faults,
+        seed=arguments.seed,
+        designs=arguments.designs,
+        jobs=arguments.jobs,
+        flow_cache=arguments.flow_cache,
+        progress=arguments.progress,
+        repeat=arguments.repeat,
+    )
+    payload = json.dumps(report, indent=2, default=str, sort_keys=True)
+    if arguments.output:
+        with open(arguments.output, "w") as handle:
+            handle.write(payload + "\n")
+        print(f"report written to {arguments.output}", file=sys.stderr)
+    if arguments.json:
+        print(payload)
+    else:
+        print(render_markdown(report))
+    return 0
+
+
+def _list(arguments: argparse.Namespace) -> int:
+    scenarios = list_scenarios()
+    if arguments.json:
+        print(json.dumps([
+            {
+                "id": scenario.id,
+                "title": scenario.title,
+                "description": scenario.description,
+                "scale": scenario.scale,
+                "designs": list(scenario.designs),
+                "backend": scenario.backend,
+                "upset_model": scenario.upset_model,
+                "stages": list(scenario.stages),
+                "axes": [{"field": field, "values": list(values)}
+                         for field, values in scenario.axes],
+            }
+            for scenario in scenarios], indent=2))
+        return 0
+    width = max(len(scenario.id) for scenario in scenarios)
+    for scenario in scenarios:
+        axes = "".join(
+            f" [{field}: {', '.join(map(str, values))}]"
+            for field, values in scenario.axes)
+        print(f"{scenario.id.ljust(width)}  {scenario.title}{axes}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    arguments = _build_parser().parse_args(argv)
+    if arguments.command == "run":
+        return _run(arguments)
+    return _list(arguments)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

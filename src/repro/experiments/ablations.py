@@ -9,22 +9,23 @@ Two studies the paper motivates but does not quantify:
 * **Floorplanning** — the paper's future-work item: confine each TMR domain
   to its own column band and measure how much of the remaining vulnerability
   disappears (at the cost of longer voter nets).
+
+``python -m repro run ablation-sweep`` and ``python -m repro run
+floorplan-fir`` are the equivalent pipeline surfaces.
 """
 
 from __future__ import annotations
 
-import argparse
 import json
 from typing import Dict, Optional, Sequence
 
 from ..core import EveryKth, sweep_partitions
-from ..faults import CampaignConfig, CampaignResult, run_campaign
-from ..faults.engine import BACKEND_CHOICES, BackendLike, resolve_backend
+from ..faults import CampaignResult, run_campaign
+from ..faults.engine import BackendLike, resolve_backend
 from ..pnr import Implementation
 from ..pnr.artifacts import StoreLike
-from .designs import (DesignSuite, build_design_suite,
-                      implement_design_suite)
-from .table2 import add_flow_arguments
+from .cli import experiment_parser
+from .designs import DesignSuite, build_design_suite
 from .table3 import campaign_config_for
 
 
@@ -48,27 +49,38 @@ def floorplan_study(suite: Optional[DesignSuite] = None, scale: str = "smoke",
                     backend: BackendLike = None,
                     jobs: int = 1,
                     flow_cache: StoreLike = None) -> Dict[str, object]:
-    """Compare interleaved placement against per-domain floorplanning."""
-    if suite is None:
-        suite = build_design_suite(scale)
-    config = campaign_config_for(suite, num_faults)
-    engine = resolve_backend(backend)
+    """Compare interleaved placement against per-domain floorplanning.
 
-    interleaved = implement_design_suite(
-        suite, designs=[design], jobs=jobs,
-        artifact_store=flow_cache)[design]
-    floorplanned = implement_design_suite(
-        suite, designs=[design], floorplan_domains=True, jobs=jobs,
-        artifact_store=flow_cache)[design]
+    Both variants run through the pipeline's implement stage, so the
+    persistent flow store caches each placement flavour under its own
+    fingerprint (the floorplan hashes into the key).
+    """
+    from ..pipeline import PipelineContext, pipeline_for
 
-    result_interleaved = run_campaign(interleaved, config, backend=engine)
-    result_floorplanned = run_campaign(floorplanned, config, backend=engine)
+    campaigns: Dict[str, CampaignResult] = {}
+    for label, floorplan_domains in (("interleaved", False),
+                                     ("floorplanned", True)):
+        ctx = PipelineContext(
+            scenario_id="floorplan-fir",
+            scale=scale,
+            designs=(design,),
+            backend=backend if backend is not None else "serial",
+            num_faults=num_faults,
+            jobs=jobs,
+            flow_cache=flow_cache,
+            floorplan_domains=floorplan_domains,
+        )
+        ctx.suite = suite
+        pipeline_for(("build", "implement", "campaign")).run(ctx)
+        suite = ctx.suite  # share one built suite across both variants
+        campaigns[label] = ctx.campaigns[design]
+
     return {
         "design": design,
-        "interleaved": result_interleaved.summary_row(),
-        "floorplanned": result_floorplanned.summary_row(),
-        "floorplanning_helps": result_floorplanned.wrong_answer_percent
-        <= result_interleaved.wrong_answer_percent,
+        "interleaved": campaigns["interleaved"].summary_row(),
+        "floorplanned": campaigns["floorplanned"].summary_row(),
+        "floorplanning_helps": campaigns["floorplanned"].wrong_answer_percent
+        <= campaigns["interleaved"].wrong_answer_percent,
     }
 
 
@@ -87,15 +99,11 @@ def fault_list_mode_study(implementation: Implementation,
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--scale", default="smoke",
-                        choices=("paper", "fast", "smoke"))
+    # Output is always JSON, so no --json toggle is offered.
+    parser = experiment_parser(__doc__, scale_default="smoke",
+                               json_flag=False)
     parser.add_argument("--study", default="sweep",
                         choices=("sweep", "floorplan"))
-    parser.add_argument("--backend", default="serial",
-                        choices=BACKEND_CHOICES,
-                        help="campaign execution backend")
-    add_flow_arguments(parser)
     arguments = parser.parse_args(argv)
 
     if arguments.study == "sweep":

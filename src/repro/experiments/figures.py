@@ -18,7 +18,6 @@ quick visual of the partition structure.
 
 from __future__ import annotations
 
-import argparse
 import json
 from typing import Dict, List, Optional, Sequence
 
@@ -26,10 +25,11 @@ from ..cells import logic
 from ..core import (NUM_DOMAINS, build_voted_register, check_domain_isolation,
                     compute_voter_regions, voter_instances)
 from ..faults import CampaignConfig, categories, run_campaign
-from ..faults.engine import BACKEND_CHOICES, BackendLike
+from ..faults.engine import BackendLike
 from ..netlist import Netlist, flatten
 from ..pnr import Implementation
 from ..sim import CompiledDesign, Simulator
+from .cli import experiment_parser
 from .designs import DesignSuite, build_design_suite, tmr_configs
 
 
@@ -205,19 +205,10 @@ def run_figures(suite: Optional[DesignSuite] = None, scale: str = "fast"
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--scale", default="fast",
-                        choices=("paper", "fast", "smoke"))
+    parser = experiment_parser(__doc__, backend_default="vector")
     parser.add_argument("--upsets", action="store_true",
                         help="also implement TMR_p3 and measure Figure 1's "
                              "example routing upsets via a campaign")
-    parser.add_argument("--backend", default="vector",
-                        choices=BACKEND_CHOICES,
-                        help="campaign execution backend for --upsets")
-    parser.add_argument("--json", action="store_true")
-    from .table2 import add_flow_arguments
-
-    add_flow_arguments(parser)
     arguments = parser.parse_args(argv)
 
     suite = build_design_suite(arguments.scale)

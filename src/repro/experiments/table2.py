@@ -2,36 +2,23 @@
 
 Running ``python -m repro.experiments.table2 --scale fast`` builds the five
 filter versions, implements each on its device profile and prints the
-Table 2 analogue next to the paper's reference numbers.
+Table 2 analogue next to the paper's reference numbers.  The driver is a
+thin wrapper over the ``table2-fir`` scenario of the pipeline engine
+(``python -m repro run table2-fir`` is the equivalent surface).
 """
 
 from __future__ import annotations
 
-import argparse
 import json
-import os
 from typing import Dict, Optional, Sequence
 
-from ..analysis import (area_overhead, format_resource_table,
-                        performance_degradation, resource_table)
 from ..pnr import Implementation
 from ..pnr.artifacts import StoreLike
-from .designs import (DESIGN_ORDER, PAPER_TABLE2_FMAX, PAPER_TABLE2_SLICES,
-                      DesignSuite, build_design_suite, implement_design_suite)
+from .cli import experiment_parser
+from .designs import DESIGN_ORDER, DesignSuite
 
-
-def add_flow_arguments(parser: argparse.ArgumentParser) -> None:
-    """The implementation-flow knobs shared by every experiment CLI."""
-    parser.add_argument(
-        "--flow-cache", metavar="DIR",
-        default=os.environ.get("REPRO_FLOW_CACHE"),
-        help="persistent flow-artifact directory; place-and-route results "
-             "are stored there and reused by later runs (default: the "
-             "REPRO_FLOW_CACHE environment variable, else disabled)")
-    parser.add_argument(
-        "--jobs", type=int, default=1, metavar="N",
-        help="implement the suite designs in N parallel worker processes "
-             "(default: 1)")
+# Re-exported for backward compatibility (historically defined here).
+from .cli import add_flow_arguments  # noqa: F401
 
 
 def run_table2(suite: Optional[DesignSuite] = None,
@@ -39,23 +26,25 @@ def run_table2(suite: Optional[DesignSuite] = None,
                scale: str = "fast", jobs: int = 1,
                flow_cache: StoreLike = None) -> Dict[str, Dict[str, object]]:
     """Compute the Table 2 analogue; returns one dict per design."""
-    if suite is None:
-        suite = build_design_suite(scale)
-    if implementations is None:
-        implementations = implement_design_suite(suite, jobs=jobs,
-                                                 artifact_store=flow_cache)
-    rows = resource_table(implementations, order=DESIGN_ORDER)
-    overhead = area_overhead(rows, "standard")
-    slowdown = performance_degradation(rows, "standard")
-    result: Dict[str, Dict[str, object]] = {}
-    for row in rows:
-        entry = row.as_dict()
-        entry["area_overhead_vs_standard"] = round(overhead[row.design], 2)
-        entry["relative_fmax_vs_standard"] = round(slowdown[row.design], 2)
-        entry["paper_slices"] = PAPER_TABLE2_SLICES.get(row.design)
-        entry["paper_fmax_mhz"] = PAPER_TABLE2_FMAX.get(row.design)
-        result[row.design] = entry
-    return result
+    from ..pipeline import PipelineContext, pipeline_for, resources_analysis
+
+    ctx = PipelineContext(
+        scenario_id="table2-fir",
+        scale=scale,
+        designs=DESIGN_ORDER,
+        jobs=jobs,
+        flow_cache=flow_cache,
+    )
+    ctx.suite = suite
+    ctx.implementations = implementations
+    if implementations is not None:
+        # Pre-built implementations are all the analysis needs — keep the
+        # historical fast path that never builds the suite.
+        ctx.designs = [name for name in DESIGN_ORDER
+                       if name in implementations]
+    else:
+        pipeline_for(("build", "implement")).run(ctx)
+    return resources_analysis(ctx)
 
 
 def format_report(table: Dict[str, Dict[str, object]]) -> str:
@@ -83,21 +72,23 @@ def format_report(table: Dict[str, Dict[str, object]]) -> str:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--scale", default="fast",
-                        choices=("paper", "fast", "smoke"),
-                        help="experiment scale (default: fast)")
-    parser.add_argument("--json", action="store_true",
-                        help="emit machine-readable JSON instead of a table")
-    add_flow_arguments(parser)
+    parser = experiment_parser(__doc__, backend_default=None)
     arguments = parser.parse_args(argv)
+
+    if arguments.json:
+        from ..pipeline import stable_report
+        from ..scenarios import run_scenario
+
+        report = run_scenario("table2-fir", scale=arguments.scale,
+                              jobs=arguments.jobs,
+                              flow_cache=arguments.flow_cache)
+        print(json.dumps(stable_report(report), indent=2, default=str,
+                         sort_keys=True))
+        return 0
 
     table = run_table2(scale=arguments.scale, jobs=arguments.jobs,
                        flow_cache=arguments.flow_cache)
-    if arguments.json:
-        print(json.dumps(table, indent=2))
-    else:
-        print(format_report(table))
+    print(format_report(table))
     return 0
 
 

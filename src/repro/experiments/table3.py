@@ -4,36 +4,41 @@
 filter versions, runs one bitstream fault-injection campaign per version and
 prints the wrong-answer percentages next to the paper's, together with the
 headline improvement factor of the medium partition over plain TMR.
+
+The driver is a thin wrapper over the ``table3-fir`` scenario of the
+pipeline engine (``python -m repro run table3-fir`` is the equivalent
+surface); :func:`run_table3` keeps its historical signature for callers
+that pre-build the suite or the implementations.
 """
 
 from __future__ import annotations
 
-import argparse
 import json
-import sys
 from typing import Dict, Optional, Sequence
 
-from ..analysis import best_partition, improvement_factor
-from ..faults import CampaignConfig, CampaignResult, run_campaign, \
-    table3_report
-from ..faults.engine import BACKEND_CHOICES, BackendLike, resolve_backend
+from ..faults import CampaignConfig, CampaignResult, table3_report
+from ..faults.engine import BackendLike
 from ..pnr import Implementation
 from ..pnr.artifacts import StoreLike
-from .designs import (DESIGN_ORDER, PAPER_TABLE3_PERCENT, DesignSuite,
-                      build_design_suite, implement_design_suite)
-from .table2 import add_flow_arguments
+from .cli import experiment_parser
+from .designs import DESIGN_ORDER, PAPER_TABLE3_PERCENT, DesignSuite
+
+# Re-exported for backward compatibility (historically defined here).
+from .cli import add_flow_arguments  # noqa: F401
 
 
 def campaign_config_for(suite: DesignSuite,
                         num_faults: Optional[int] = None,
                         fault_list_mode: str = "design",
-                        seed: int = 2005) -> CampaignConfig:
+                        seed: int = 2005,
+                        upset_model: str = "single") -> CampaignConfig:
     return CampaignConfig(
         num_faults=num_faults if num_faults is not None
         else suite.scale.campaign_faults,
         workload_cycles=suite.scale.workload_cycles,
         fault_list_mode=fault_list_mode,
         seed=seed,
+        upset_model=upset_model,
     )
 
 
@@ -44,90 +49,92 @@ def run_table3(suite: Optional[DesignSuite] = None,
                progress: bool = False,
                backend: BackendLike = None,
                jobs: int = 1,
-               flow_cache: StoreLike = None) -> Dict[str, CampaignResult]:
+               flow_cache: StoreLike = None,
+               upset_model: str = "single") -> Dict[str, CampaignResult]:
     """Run the Table 3 campaigns and return one result per design.
 
     *backend* selects the campaign execution backend (``"serial"``,
     ``"batch"``, ``"process"`` or the bit-parallel ``"vector"``); every
-    backend yields identical results.  *jobs* and *flow_cache* speed up
+    backend yields identical results.  *upset_model* selects how many bits
+    one injection flips (``"single"``, ``"mbu[:k]"``, ``"accumulate[:k]"``
+    — see :mod:`repro.faults.upsets`).  *jobs* and *flow_cache* speed up
     the implementation step (parallel place-and-route, persistent flow
     artifacts) without changing any campaign number.
     """
-    if suite is None:
-        suite = build_design_suite(scale)
-    if implementations is None:
-        implementations = implement_design_suite(suite, jobs=jobs,
-                                                 artifact_store=flow_cache)
-    config = campaign_config_for(suite, num_faults, fault_list_mode)
-    engine = resolve_backend(backend)
+    from ..pipeline import PipelineContext, pipeline_for
 
-    results: Dict[str, CampaignResult] = {}
-    for name in DESIGN_ORDER:
-        if name not in implementations:
-            continue
-        callback = None
-        if progress:
-            # stderr so ``--json`` runs keep a machine-readable stdout
-            callback = lambda done, total, design=name: print(
-                f"  {design}: {done}/{total} faults", file=sys.stderr,
-                flush=True)
-        results[name] = run_campaign(implementations[name], config,
-                                     progress=callback, backend=engine)
-    return results
+    ctx = PipelineContext(
+        scenario_id="table3-fir",
+        scale=scale,
+        designs=DESIGN_ORDER,
+        backend=backend if backend is not None else "serial",
+        upset_model=upset_model,
+        fault_list_mode=fault_list_mode,
+        num_faults=num_faults,
+        jobs=jobs,
+        flow_cache=flow_cache,
+        progress=progress,
+    )
+    ctx.suite = suite
+    ctx.implementations = implementations
+    if implementations is not None:
+        ctx.designs = [name for name in DESIGN_ORDER
+                       if name in implementations]
+    pipeline_for(("build", "implement", "campaign")).run(ctx)
+    return ctx.campaigns
 
 
 def summarize(results: Dict[str, CampaignResult]) -> Dict[str, object]:
     """Headline quantities derived from the campaigns."""
-    summary: Dict[str, object] = {
-        name: result.summary_row() for name, result in results.items()}
-    tmr_versions = [n for n in ("TMR_p1", "TMR_p2", "TMR_p3", "TMR_p3_nv")
-                    if n in results]
-    if "TMR_p1" in results and "TMR_p2" in results:
-        summary["improvement_p1_to_p2"] = round(
-            improvement_factor(results, "TMR_p1", "TMR_p2"), 2)
-    if tmr_versions:
-        summary["best_tmr_partition"] = best_partition(results, tmr_versions)
-    return summary
+    from ..pipeline import table3_summary
+
+    return table3_summary(results)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--scale", default="fast",
-                        choices=("paper", "fast", "smoke"))
-    parser.add_argument("--faults", type=int, default=None,
-                        help="faults to inject per design (default: scale "
-                             "dependent)")
+    parser = experiment_parser(__doc__, faults=True, upset_model=True)
     parser.add_argument("--fault-list", default="design",
                         choices=("design", "extended", "programmed"),
                         help="fault-list selection mode")
-    parser.add_argument("--backend", default="serial",
-                        choices=BACKEND_CHOICES,
-                        help="campaign execution backend")
-    parser.add_argument("--json", action="store_true")
-    add_flow_arguments(parser)
     arguments = parser.parse_args(argv)
+
+    if arguments.json:
+        # Machine-readable runs emit the pipeline reporter's uniform
+        # schema (scenario id, seed, backend, upset model, tool versions)
+        # instead of the historical ad-hoc payload.  The stable variant
+        # (timings and cache counters scrubbed) keeps the output
+        # byte-reproducible across processes; ``python -m repro run``
+        # emits the raw report when those counters are wanted.
+        from ..pipeline import stable_report
+        from ..scenarios import run_scenario
+
+        report = run_scenario(
+            "table3-fir", scale=arguments.scale,
+            backend=arguments.backend, upset_model=arguments.upset_model,
+            num_faults=arguments.faults,
+            fault_list_mode=arguments.fault_list,
+            jobs=arguments.jobs, flow_cache=arguments.flow_cache,
+            progress=True)
+        print(json.dumps(stable_report(report), indent=2, default=str,
+                         sort_keys=True))
+        return 0
 
     results = run_table3(scale=arguments.scale, num_faults=arguments.faults,
                          fault_list_mode=arguments.fault_list, progress=True,
                          backend=arguments.backend, jobs=arguments.jobs,
-                         flow_cache=arguments.flow_cache)
-    if arguments.json:
-        payload = {name: result.summary_row()
-                   for name, result in results.items()}
-        payload["derived"] = summarize(results)
-        print(json.dumps(payload, indent=2, default=str))
-    else:
-        print(table3_report(results, order=[n for n in DESIGN_ORDER
-                                            if n in results],
-                            paper_reference=PAPER_TABLE3_PERCENT))
-        derived = summarize(results)
-        if "improvement_p1_to_p2" in derived:
-            print(f"\nImprovement TMR_p1 -> TMR_p2: "
-                  f"{derived['improvement_p1_to_p2']}x "
-                  f"(paper: ~4.1x)")
-        if "best_tmr_partition" in derived:
-            print(f"Best TMR partition: {derived['best_tmr_partition']} "
-                  f"(paper: TMR_p2)")
+                         flow_cache=arguments.flow_cache,
+                         upset_model=arguments.upset_model)
+    print(table3_report(results, order=[n for n in DESIGN_ORDER
+                                        if n in results],
+                        paper_reference=PAPER_TABLE3_PERCENT))
+    derived = summarize(results)
+    if "improvement_p1_to_p2" in derived:
+        print(f"\nImprovement TMR_p1 -> TMR_p2: "
+              f"{derived['improvement_p1_to_p2']}x "
+              f"(paper: ~4.1x)")
+    if "best_tmr_partition" in derived:
+        print(f"Best TMR partition: {derived['best_tmr_partition']} "
+              f"(paper: TMR_p2)")
     return 0
 
 

@@ -3,42 +3,21 @@
 The campaigns of Table 3 already classify every injected upset by its effect
 (LUT / MUX / Initialization / Open / Bridge / Input-Antenna / Conflict /
 Others); this driver aggregates the error-causing ones per design version,
-which is the paper's Table 4.
+which is the paper's Table 4.  ``python -m repro run table4-fir`` is the
+equivalent pipeline surface.
 """
 
 from __future__ import annotations
 
-import argparse
 import json
 from typing import Dict, Optional, Sequence
 
-from ..analysis import routing_effect_share
 from ..faults import CampaignResult, table4_report
-from ..faults.engine import BACKEND_CHOICES, BackendLike
+from ..faults.engine import BackendLike
 from ..pnr import Implementation
-from .designs import DESIGN_ORDER, DesignSuite, build_design_suite, \
-    implement_design_suite
-from .table2 import add_flow_arguments
+from .cli import experiment_parser
+from .designs import DESIGN_ORDER, PAPER_TABLE4, DesignSuite
 from .table3 import run_table3
-
-#: Error-causing effect counts from the paper's Table 4 (for reference).
-PAPER_TABLE4 = {
-    "standard": {"LUT": 852, "MUX": 123, "Initialization": 174, "Open": 1321,
-                 "Bridge": 427, "Input-Antenna": 76, "Conflict": 1342,
-                 "Others": 1006},
-    "TMR_p1": {"LUT": 0, "MUX": 16, "Initialization": 13, "Open": 276,
-               "Bridge": 62, "Input-Antenna": 33, "Conflict": 26,
-               "Others": 301},
-    "TMR_p2": {"LUT": 0, "MUX": 1, "Initialization": 0, "Open": 82,
-               "Bridge": 41, "Input-Antenna": 7, "Conflict": 13,
-               "Others": 66},
-    "TMR_p3": {"LUT": 0, "MUX": 15, "Initialization": 11, "Open": 126,
-               "Bridge": 42, "Input-Antenna": 14, "Conflict": 6,
-               "Others": 128},
-    "TMR_p3_nv": {"LUT": 0, "MUX": 367, "Initialization": 400, "Open": 1672,
-                  "Bridge": 403, "Input-Antenna": 73, "Conflict": 185,
-                  "Others": 756},
-}
 
 
 def run_table4(results: Optional[Dict[str, CampaignResult]] = None,
@@ -63,46 +42,39 @@ def run_table4(results: Optional[Dict[str, CampaignResult]] = None,
 
 def derived_claims(results: Dict[str, CampaignResult]) -> Dict[str, object]:
     """The qualitative claims the paper draws from Table 4."""
-    claims: Dict[str, object] = {}
-    tmr_names = [n for n in results if n.startswith("TMR")]
-    claims["lut_upsets_defeat_tmr"] = any(
-        results[name].by_category.get("LUT") is not None and
-        results[name].by_category["LUT"].wrong > 0 for name in tmr_names)
-    claims["routing_effect_share"] = {
-        name: round(routing_effect_share(result), 3)
-        for name, result in results.items()}
-    return claims
+    from ..pipeline import table4_claims
+
+    return table4_claims(results)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--scale", default="fast",
-                        choices=("paper", "fast", "smoke"))
-    parser.add_argument("--faults", type=int, default=None)
-    parser.add_argument("--backend", default="serial",
-                        choices=BACKEND_CHOICES,
-                        help="campaign execution backend")
-    parser.add_argument("--json", action="store_true")
-    add_flow_arguments(parser)
+    parser = experiment_parser(__doc__, faults=True, upset_model=True)
     arguments = parser.parse_args(argv)
+
+    if arguments.json:
+        from ..pipeline import stable_report
+        from ..scenarios import run_scenario
+
+        report = run_scenario(
+            "table4-fir", scale=arguments.scale,
+            backend=arguments.backend, upset_model=arguments.upset_model,
+            num_faults=arguments.faults, jobs=arguments.jobs,
+            flow_cache=arguments.flow_cache, progress=True)
+        print(json.dumps(stable_report(report), indent=2, default=str,
+                         sort_keys=True))
+        return 0
 
     results = run_table3(scale=arguments.scale, num_faults=arguments.faults,
                          progress=True, backend=arguments.backend,
                          jobs=arguments.jobs,
-                         flow_cache=arguments.flow_cache)
-    if arguments.json:
-        print(json.dumps({
-            "measured": run_table4(results),
-            "paper": PAPER_TABLE4,
-            "claims": derived_claims(results),
-        }, indent=2, default=str))
-    else:
-        print(table4_report(results, order=[n for n in DESIGN_ORDER
-                                            if n in results]))
-        claims = derived_claims(results)
-        print("\nLUT upsets able to defeat TMR:",
-              "yes" if claims["lut_upsets_defeat_tmr"] else
-              "no (matches the paper)")
+                         flow_cache=arguments.flow_cache,
+                         upset_model=arguments.upset_model)
+    print(table4_report(results, order=[n for n in DESIGN_ORDER
+                                        if n in results]))
+    claims = derived_claims(results)
+    print("\nLUT upsets able to defeat TMR:",
+          "yes" if claims["lut_upsets_defeat_tmr"] else
+          "no (matches the paper)")
     return 0
 
 

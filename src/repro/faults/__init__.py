@@ -16,6 +16,9 @@ from .injector import FaultInjectionManager, FaultResult
 from .models import FaultEffect, FaultModeler
 from .report import (campaign_details, format_table, table3_report,
                      table4_report)
+from .upsets import (UPSET_MODEL_CHOICES, UPSET_MODELS, AccumulatedUpset,
+                     MultiBitUpset, SingleUpset, UpsetModel, merged_effect,
+                     resolve_upset_model)
 
 __all__ = [
     "categories", "CampaignConfig", "CampaignResult", "CategoryCount",
@@ -32,4 +35,8 @@ __all__ = [
     # cache layer
     "CampaignCache", "CampaignCacheEntry", "cache_stats", "clear_cache",
     "configure_cache", "get_cache", "implementation_fingerprint",
+    # upset-model axis
+    "UPSET_MODEL_CHOICES", "UPSET_MODELS", "AccumulatedUpset",
+    "MultiBitUpset", "SingleUpset", "UpsetModel", "merged_effect",
+    "resolve_upset_model",
 ]

@@ -32,6 +32,7 @@ from .engine import (BackendLike, CampaignContext, ProgressCallback,
                      resolve_backend)
 from .fault_list import FaultListManager
 from .injector import FaultResult
+from .upsets import UpsetModelLike, resolve_upset_model
 
 
 @dataclasses.dataclass
@@ -53,6 +54,10 @@ class CampaignConfig:
     fault_list_mode: str = "design"
     #: cycles ignored at the start of the comparison
     skip_cycles: int = 0
+    #: how many bits one injection flips (see :mod:`repro.faults.upsets`):
+    #: ``"single"`` (seed semantics), ``"mbu[:k]"`` (adjacent multi-bit
+    #: clusters) or ``"accumulate[:k]"`` (upsets accrue between scrubs)
+    upset_model: UpsetModelLike = "single"
 
 
 @dataclasses.dataclass
@@ -77,6 +82,10 @@ class CampaignResult:
     duration_seconds: float
     #: name of the execution backend that evaluated the campaign
     backend: str = "serial"
+    #: parameterized name of the upset model that built the injections
+    upset_model: str = "single"
+    #: fault-sampling seed of the campaign (provenance for reports)
+    seed: int = 2005
 
     @property
     def wrong_answer_percent(self) -> float:
@@ -152,6 +161,7 @@ def run_campaign(implementation: Implementation,
     """Run one fault-injection campaign on an implemented design."""
     config = config if config is not None else CampaignConfig()
     engine = resolve_backend(backend)
+    model = resolve_upset_model(config.upset_model)
     start = time.time()
 
     cache_entry = get_cache().entry_for(implementation) if use_cache else None
@@ -175,9 +185,15 @@ def run_campaign(implementation: Implementation,
     if fault_bits is None:
         count = config.num_faults if config.num_faults is not None else \
             max(1, int(len(fault_list) * config.sample_fraction))
-        fault_bits = fault_list.sample(count, config.seed)
+        groups = model.injections(
+            fault_list, count, config.seed,
+            total_bits=implementation.layout.total_bits)
+    else:
+        # An explicit bit list bypasses the model's sampling but keeps
+        # the historical one-bit-per-injection semantics.
+        groups = [(bit,) for bit in fault_bits]
 
-    tasks = context.tasks_for(fault_bits)
+    tasks = context.tasks_for_groups(groups)
     verdicts = engine.run(context, tasks, progress)
 
     results: List[FaultResult] = []
@@ -202,6 +218,8 @@ def run_campaign(implementation: Implementation,
         by_category=by_category,
         duration_seconds=time.time() - start,
         backend=engine.name,
+        upset_model=model.describe(),
+        seed=config.seed,
     )
 
 

@@ -57,11 +57,19 @@ PROGRESS_INTERVAL = 250
 
 @dataclasses.dataclass(frozen=True)
 class FaultTask:
-    """One unit of campaign work: a sampled bit and its modelled effect."""
+    """One unit of campaign work: an injection and its modelled effect.
+
+    ``bit`` is the primary sampled bit (the seed semantics); under a
+    multi-bit :mod:`~repro.faults.upsets` model ``bits`` carries the whole
+    cluster flipped by this injection and ``effect`` is their merged
+    overlay.  An empty ``bits`` means a classic single-bit task.
+    """
 
     index: int
     bit: int
     effect: FaultEffect
+    #: full injection cluster (debugging/provenance; empty for single-bit)
+    bits: Tuple[int, ...] = ()
 
 
 @dataclasses.dataclass(frozen=True)
@@ -209,6 +217,32 @@ class CampaignContext:
         """Model every sampled bit into an executable task list."""
         return [FaultTask(index, bit, self.effect_of_bit(bit))
                 for index, bit in enumerate(fault_bits)]
+
+    def tasks_for_groups(self, groups: Sequence[Sequence[int]]
+                         ) -> List[FaultTask]:
+        """Model a list of injections (one bit tuple each) into tasks.
+
+        Single-bit groups produce tasks equal to :meth:`tasks_for`'s
+        (same cached effects, same contents, empty ``bits``), so the
+        ``single`` upset model stays bit-identical to the seed campaign;
+        multi-bit groups carry their cluster in ``bits`` and merge the
+        per-bit effects through
+        :func:`repro.faults.upsets.merged_effect`.
+        """
+        from .upsets import merged_effect
+
+        tasks: List[FaultTask] = []
+        for index, group in enumerate(groups):
+            bits = tuple(group)
+            if len(bits) == 1:
+                tasks.append(FaultTask(index, bits[0],
+                                       self.effect_of_bit(bits[0])))
+            else:
+                effect = merged_effect(
+                    bits, [self.effect_of_bit(bit) for bit in bits],
+                    self.compiled)
+                tasks.append(FaultTask(index, bits[0], effect, bits=bits))
+        return tasks
 
     def cone_for(self, effect: FaultEffect) -> Optional[FaultCone]:
         return self.cone_for_nets(effect.overlay.seed_nets)

@@ -135,22 +135,3 @@ class FaultOverlay:
                 + list(self.ff_pin_overrides.values())):
             return max(self.comb_passes, 3)
         return self.comb_passes
-
-    def merge(self, other: "FaultOverlay") -> "FaultOverlay":
-        """Combine two overlays (used for multi-bit / accumulated upsets)."""
-        merged = FaultOverlay(
-            description=f"{self.description} + {other.description}".strip(" +"))
-        merged.lut_init_overrides = {**self.lut_init_overrides,
-                                     **other.lut_init_overrides}
-        merged.gate_pin_overrides = {**self.gate_pin_overrides,
-                                     **other.gate_pin_overrides}
-        merged.ff_pin_overrides = {**self.ff_pin_overrides,
-                                   **other.ff_pin_overrides}
-        merged.ff_init_overrides = {**self.ff_init_overrides,
-                                    **other.ff_init_overrides}
-        merged.net_overrides = {**self.net_overrides, **other.net_overrides}
-        merged.output_pin_overrides = {**self.output_pin_overrides,
-                                       **other.output_pin_overrides}
-        merged.comb_passes = max(self.comb_passes, other.comb_passes)
-        merged.seed_nets = sorted(set(self.seed_nets) | set(other.seed_nets))
-        return merged

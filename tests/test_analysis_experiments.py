@@ -111,7 +111,7 @@ class TestOptimizer:
 
 class TestExperimentScaffolding:
     def test_scales_defined(self):
-        assert set(SCALES) == {"paper", "fast", "smoke"}
+        assert set(SCALES) == {"paper", "fast", "smoke", "tiny"}
         assert scale_by_name("paper").taps == 11
         with pytest.raises(KeyError):
             scale_by_name("huge")

@@ -135,14 +135,6 @@ class TestOverlays:
         assert not overlay.is_empty()
         assert overlay.required_passes() >= 3
 
-    def test_overlay_merge(self):
-        first = FaultOverlay(lut_init_overrides={1: 5}, seed_nets=[1])
-        second = FaultOverlay(ff_init_overrides={0: 1}, seed_nets=[2])
-        merged = first.merge(second)
-        assert merged.lut_init_overrides == {1: 5}
-        assert merged.ff_init_overrides == {0: 1}
-        assert merged.seed_nets == [1, 2]
-
     def test_gate_pin_override_changes_result(self, registered_xor):
         and_gate = next(g for g in registered_xor.gates
                         if g.init == INIT_AND2)
