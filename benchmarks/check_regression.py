@@ -9,6 +9,11 @@ normalized speedup regresses by more than the tolerance:
 * ``BENCH_flow.json`` (optional, via ``--flow-baseline/--flow-current``)
   — the implementation flow's total ``cold_speedup_vs_seed`` and
   ``warm_speedup_vs_seed``;
+* ``BENCH_predict.json`` (optional, via
+  ``--predict-baseline/--predict-current``) — the static prefilter's
+  per-design ``simulated_reduction`` (how many times fewer injections the
+  campaign backends evaluate), a count ratio and therefore fully portable
+  across machines;
 * pipeline-stage cache reuse (optional, via ``--pipeline-report``, one or
   more warm-run JSON reports from ``python -m repro run ... --repeat 2``)
   — the implement stage must be served entirely from the flow store and
@@ -58,6 +63,13 @@ def flow_speedups(payload: dict) -> dict:
     return result
 
 
+def predict_reductions(payload: dict) -> dict:
+    """{design: simulated-fault reduction of the static prefilter}."""
+    return {design: row["simulated_reduction"]
+            for design, row in payload.get("designs", {}).items()
+            if "simulated_reduction" in row}
+
+
 def _compare(label: str, baseline: dict, current: dict,
              tolerance: float) -> list:
     problems = []
@@ -86,6 +98,12 @@ def check_flow(baseline: dict, current: dict, tolerance: float) -> list:
     """Flow regression messages (empty when the run is acceptable)."""
     return _compare("flow", flow_speedups(baseline),
                     flow_speedups(current), tolerance)
+
+
+def check_predict(baseline: dict, current: dict, tolerance: float) -> list:
+    """Prefilter regression messages (empty when the run is acceptable)."""
+    return _compare("prefilter", predict_reductions(baseline),
+                    predict_reductions(current), tolerance)
 
 
 def _pipeline_runs(report: dict):
@@ -146,6 +164,10 @@ def main(argv=None) -> int:
                         help="committed BENCH_flow.json")
     parser.add_argument("--flow-current", type=Path, default=None,
                         help="freshly measured BENCH_flow.json")
+    parser.add_argument("--predict-baseline", type=Path, default=None,
+                        help="committed BENCH_predict.json")
+    parser.add_argument("--predict-current", type=Path, default=None,
+                        help="freshly measured BENCH_predict.json")
     parser.add_argument("--pipeline-report", type=Path, action="append",
                         default=[], metavar="REPORT.json",
                         help="warm-run 'python -m repro run --repeat 2' "
@@ -156,15 +178,21 @@ def main(argv=None) -> int:
                         "speedup (default 0.30)")
     arguments = parser.parse_args(argv)
     if arguments.baseline is None and arguments.flow_baseline is None \
+            and arguments.predict_baseline is None \
             and not arguments.pipeline_report:
         parser.error("nothing to check: pass --baseline/--current, "
-                     "--flow-baseline/--flow-current and/or "
+                     "--flow-baseline/--flow-current, "
+                     "--predict-baseline/--predict-current and/or "
                      "--pipeline-report")
     if (arguments.baseline is None) != (arguments.current is None):
         parser.error("--baseline and --current must be given together")
     if (arguments.flow_baseline is None) != (arguments.flow_current is None):
         parser.error("--flow-baseline and --flow-current must be given "
                      "together")
+    if (arguments.predict_baseline is None) != \
+            (arguments.predict_current is None):
+        parser.error("--predict-baseline and --predict-current must be "
+                     "given together")
 
     problems = []
     if arguments.baseline is not None:
@@ -189,6 +217,19 @@ def main(argv=None) -> int:
             measured = measured_flow.get(metric)
             shown = f"{measured:.2f}x" if measured is not None else "missing"
             print(f"flow {metric}: baseline {reference:.2f}x -> "
+                  f"current {shown}")
+    if arguments.predict_baseline is not None and \
+            arguments.predict_current is not None:
+        predict_baseline = json.loads(arguments.predict_baseline.read_text())
+        predict_current = json.loads(arguments.predict_current.read_text())
+        problems.extend(check_predict(predict_baseline, predict_current,
+                                      arguments.tolerance))
+        measured_predict = predict_reductions(predict_current)
+        for design, reference in sorted(
+                predict_reductions(predict_baseline).items()):
+            measured = measured_predict.get(design)
+            shown = f"{measured:.2f}x" if measured is not None else "missing"
+            print(f"prefilter {design}: baseline {reference:.2f}x -> "
                   f"current {shown}")
     for path in arguments.pipeline_report:
         report = json.loads(path.read_text())

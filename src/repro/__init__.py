@@ -44,6 +44,9 @@ _PUBLIC_API = {
     "pipeline_for": ("repro.pipeline", "pipeline_for"),
     "render_markdown": ("repro.pipeline", "render_markdown"),
     "stable_report": ("repro.pipeline", "stable_report"),
+    "DefeatMap": ("repro.analysis.layout", "DefeatMap"),
+    "LayoutAnalyzer": ("repro.analysis.layout", "LayoutAnalyzer"),
+    "defeat_map_for": ("repro.analysis.layout", "defeat_map_for"),
     "Scenario": ("repro.scenarios", "Scenario"),
     "SCENARIOS": ("repro.scenarios", "SCENARIOS"),
     "list_scenarios": ("repro.scenarios", "list_scenarios"),

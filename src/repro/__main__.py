@@ -22,7 +22,8 @@ from typing import Optional, Sequence
 
 from .experiments.cli import (add_backend_argument, add_faults_argument,
                               add_flow_arguments, add_json_argument,
-                              add_scale_argument, add_upset_model_argument)
+                              add_prefilter_argument, add_scale_argument,
+                              add_upset_model_argument)
 from .pipeline import render_markdown
 from .scenarios import list_scenarios, run_scenario
 
@@ -41,6 +42,7 @@ def _build_parser() -> argparse.ArgumentParser:
     add_scale_argument(runner, default=None)
     add_backend_argument(runner, default=None)
     add_upset_model_argument(runner, default=None)
+    add_prefilter_argument(runner, default=None)
     add_faults_argument(runner)
     runner.add_argument("--seed", type=int, default=None,
                         help="fault-sampling seed (default: the "
@@ -72,6 +74,7 @@ def _run(arguments: argparse.Namespace) -> int:
         backend=arguments.backend,
         upset_model=arguments.upset_model,
         num_faults=arguments.faults,
+        prefilter=arguments.prefilter,
         seed=arguments.seed,
         designs=arguments.designs,
         jobs=arguments.jobs,

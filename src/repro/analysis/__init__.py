@@ -1,5 +1,9 @@
 """Resource, robustness and trade-off reporting (paper Tables 2-4)."""
 
+from .layout import (CLASSIFICATIONS, CORRECTABLE, DEFEAT, SILENT,
+                     BitPrediction, DefeatMap, LayoutAnalyzer,
+                     defeat_map_for, layout_robustness,
+                     prediction_vs_campaign)
 from .resources import (ResourceRow, area_overhead, format_resource_table,
                         performance_degradation, resource_row, resource_table)
 from .robustness import (TradeoffPoint, best_partition, campaign_tradeoff,
@@ -12,4 +16,8 @@ __all__ = [
     "TradeoffPoint", "best_partition", "campaign_tradeoff",
     "domain_crossing_summary", "improvement_factor", "routing_effect_share",
     "tradeoff_curve",
+    # layout-aware defeat analysis
+    "CLASSIFICATIONS", "CORRECTABLE", "DEFEAT", "SILENT", "BitPrediction",
+    "DefeatMap", "LayoutAnalyzer", "defeat_map_for", "layout_robustness",
+    "prediction_vs_campaign",
 ]

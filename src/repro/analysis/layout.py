@@ -1,0 +1,518 @@
+"""Layout-aware dependability analysis of implemented TMR designs.
+
+The paper's central claim is that TMR defeat is a property of the *routed
+layout*: a single configuration upset only defeats the voting when the
+wrong values it creates reach one voter barrier from two redundant domains
+at once.  The analytical model in :mod:`repro.core.analysis` approximates
+that over the unplaced netlist with a uniform-net assumption; this module
+computes it exactly for one implemented design by walking the routed
+implementation — the :class:`~repro.faults.models.FaultModeler`'s
+bit-to-overlay mapping over the :class:`~repro.fpga.config.ConfigLayout`,
+the route trees and the compiled netlist.
+
+For every configuration bit of the fault list the
+:class:`LayoutAnalyzer` answers "where can this upset's effect go?" by
+propagating a taint from the overlay's entry nets through the compiled
+design.  Voter LUTs *absorb* the taint (a majority voter with at most one
+corrupted input provably outputs the golden value, and the simulator's
+three-valued LUT evaluation honours that even for unknowns); flip-flops
+propagate it; output ports observe it.  The propagation yields one of
+three static verdicts per bit:
+
+* **silent** — the overlay is empty, or its taint dead-ends before any
+  output port and before any voter (the fault cone provably contains no
+  observable net).  Campaigns may skip these bits outright: the
+  ``prefilter="static"`` knob of
+  :class:`~repro.faults.campaign.CampaignConfig` synthesizes their
+  verdicts instead of simulating them.
+* **single-domain-correctable** — the taint reaches voter barriers, but
+  every voter sees at most one corrupted input; the redundancy is
+  predicted to out-vote the upset.
+* **cross-domain-defeat-capable** — the taint reaches an output port
+  without passing a voter (this includes every observable upset of the
+  unprotected design and upsets past the final output voter), or some
+  voter sees corrupted values on two or more inputs (the Figure 1 "upset
+  b" mechanism: one routing short corrupting two domains inside the same
+  voter region).
+
+The defeat-capable set is a *superset* of the bits that can produce wrong
+answers — the ``prediction-vs-campaign`` scenario cross-validates that
+against measured campaigns — and the silent set is *sound*: a bit
+predicted silent can never produce an output mismatch.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, \
+    Set, Tuple
+
+from ..core.analysis import RobustnessEstimate, compute_voter_regions, \
+    domain_of_net
+from ..core.tmr import DOMAIN_SUFFIXES
+from ..core.voters import VOTED_NET_PROPERTY, VOTER_PROPERTY, is_voter
+from ..faults.fault_list import FaultList, FaultListManager
+from ..faults.models import FaultEffect, FaultModeler
+from ..pnr.flow import Implementation
+from ..sim.compile import CompiledDesign
+
+#: Static per-bit verdicts of the layout analyzer.
+SILENT = "silent"
+CORRECTABLE = "single-domain-correctable"
+DEFEAT = "cross-domain-defeat-capable"
+CLASSIFICATIONS = (SILENT, CORRECTABLE, DEFEAT)
+
+
+@dataclasses.dataclass(frozen=True)
+class BitPrediction:
+    """The static classification of one configuration bit."""
+
+    bit: int
+    resource_kind: str
+    category: str
+    classification: str
+    has_effect: bool
+    detail: str
+    #: redundant domains that can carry a wrong value under this upset
+    domains: Tuple[int, ...] = ()
+    #: canonical voter barriers ("role:voted_net") the taint reaches
+    barriers: Tuple[str, ...] = ()
+    #: whether the taint reaches an output port without passing a voter
+    reaches_output: bool = False
+
+    @property
+    def is_silent(self) -> bool:
+        return self.classification == SILENT
+
+    @property
+    def is_defeat_capable(self) -> bool:
+        return self.classification == DEFEAT
+
+
+@dataclasses.dataclass
+class DefeatMap:
+    """Per-design static defeat map: one prediction per fault-list bit."""
+
+    design: str
+    mode: str
+    predictions: Dict[int, BitPrediction]
+
+    def __len__(self) -> int:
+        return len(self.predictions)
+
+    def classification_of(self, bit: int) -> Optional[str]:
+        prediction = self.predictions.get(bit)
+        return prediction.classification if prediction is not None else None
+
+    def is_silent(self, bit: int) -> bool:
+        """True only for bits *proved* silent (unknown bits are not)."""
+        prediction = self.predictions.get(bit)
+        return prediction is not None and prediction.is_silent
+
+    def bits_of_class(self, classification: str) -> List[int]:
+        return sorted(bit for bit, prediction in self.predictions.items()
+                      if prediction.classification == classification)
+
+    def silent_bits(self) -> FrozenSet[int]:
+        return frozenset(self.bits_of_class(SILENT))
+
+    def defeat_capable_bits(self) -> FrozenSet[int]:
+        return frozenset(self.bits_of_class(DEFEAT))
+
+    def counts(self) -> Dict[str, int]:
+        counts = {classification: 0 for classification in CLASSIFICATIONS}
+        for prediction in self.predictions.values():
+            counts[prediction.classification] += 1
+        return counts
+
+    def cross_domain_bits(self) -> List[int]:
+        """Bits whose effect can corrupt two or more redundant domains."""
+        return sorted(bit for bit, prediction in self.predictions.items()
+                      if len(prediction.domains) >= 2)
+
+    def defeat_probability(self) -> float:
+        """Fraction of domain-crossing upsets predicted to defeat the TMR.
+
+        The layout-aware analogue of
+        :meth:`~repro.core.analysis.VoterRegionReport.same_region_collision_probability`:
+        among the fault-list bits that corrupt signals of two or more
+        redundant domains at once, the share whose corruptions meet at a
+        common voter barrier (or escape voting entirely).
+        """
+        crossing = self.cross_domain_bits()
+        if not crossing:
+            return 0.0
+        defeats = sum(
+            1 for bit in crossing
+            if self.predictions[bit].classification == DEFEAT)
+        return defeats / len(crossing)
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-serializable digest for reports and the analyze stage."""
+        by_category: Dict[str, Dict[str, int]] = {}
+        for prediction in self.predictions.values():
+            bucket = by_category.setdefault(
+                prediction.category,
+                {classification: 0 for classification in CLASSIFICATIONS})
+            bucket[prediction.classification] += 1
+        return {
+            "design": self.design,
+            "fault_list_mode": self.mode,
+            "bits": len(self.predictions),
+            "classes": self.counts(),
+            "by_category": by_category,
+            "cross_domain_bits": len(self.cross_domain_bits()),
+            "layout_defeat_probability": round(self.defeat_probability(), 5),
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class _TaintSummary:
+    """Forward closure of one seed net, with voters absorbing."""
+
+    #: redundant domains of the tainted nets (None filtered out)
+    domains: FrozenSet[int]
+    #: (voter gate index, tainted input net) pairs where the taint stopped
+    voter_hits: FrozenSet[Tuple[int, int]]
+    #: whether an output port net was tainted (no voter in between)
+    reaches_output: bool
+
+
+class LayoutAnalyzer:
+    """Classifies configuration bits of one implemented design.
+
+    The analyzer cross-references the implementation's fault models with
+    the compiled netlist: per bit it derives the overlay's *entry nets*
+    (the first nets that can carry a wrong value), pushes a taint through
+    gates and flip-flops — voter LUTs absorb it, recording which inputs
+    arrived corrupted — and classifies the bit by what the taint reached.
+
+    *effect_lookup* lets callers share a memoized
+    :meth:`~repro.faults.models.FaultModeler.effect_of_bit` (for example
+    the campaign cache's), so building the map also warms the per-bit
+    effect cache the campaign engine reads.
+    """
+
+    def __init__(self, implementation: Implementation,
+                 compiled: Optional[CompiledDesign] = None,
+                 modeler: Optional[FaultModeler] = None,
+                 effect_lookup: Optional[Callable[[int], FaultEffect]] = None
+                 ) -> None:
+        self.implementation = implementation
+        self.compiled = compiled if compiled is not None else \
+            CompiledDesign(implementation.design)
+        self.modeler = modeler if modeler is not None else \
+            FaultModeler(implementation, self.compiled)
+        self._effect_of_bit = effect_lookup if effect_lookup is not None \
+            else self.modeler.effect_of_bit
+        self._build_structure()
+        self._taint_memo: Dict[int, _TaintSummary] = {}
+
+    # ------------------------------------------------------------------
+    def _build_structure(self) -> None:
+        compiled = self.compiled
+        definition = self.implementation.design
+
+        self._net_domain: List[Optional[int]] = [None] * compiled.num_nets
+        for name, index in compiled.net_index.items():
+            net = definition.nets.get(name)
+            if net is not None:
+                self._net_domain[index] = domain_of_net(net)
+
+        self._net_sink_gates: Dict[int, List[int]] = {}
+        self._net_sink_ffs: Dict[int, List[int]] = {}
+        for gate in compiled.gates:
+            for net in gate.input_nets:
+                if net >= 0:
+                    self._net_sink_gates.setdefault(net, []).append(
+                        gate.index)
+        for flip_flop in compiled.flip_flops:
+            for net in (flip_flop.d_net, flip_flop.ce_net,
+                        flip_flop.reset_net):
+                if net >= 0:
+                    self._net_sink_ffs.setdefault(net, []).append(
+                        flip_flop.index)
+
+        self._voter_gates: Dict[int, str] = {}
+        for gate in compiled.gates:
+            instance = gate.instance
+            if instance is not None and is_voter(instance):
+                self._voter_gates[gate.index] = _barrier_key(instance)
+
+        self._output_nets: Set[int] = set()
+        for binding in compiled.outputs.values():
+            self._output_nets.update(net for net in binding.net_indices
+                                     if net >= 0)
+
+    # ------------------------------------------------------------------
+    def _taint_of_net(self, seed: int) -> _TaintSummary:
+        """Memoized forward closure of one net (voters absorb).
+
+        Closures are unions over seeds, so multi-net entries combine the
+        per-net memos instead of re-walking the graph.
+        """
+        memo = self._taint_memo.get(seed)
+        if memo is not None:
+            return memo
+        tainted: Set[int] = set()
+        voter_hits: Set[Tuple[int, int]] = set()
+        reaches_output = False
+        stack = [seed]
+        gates = self.compiled.gates
+        flip_flops = self.compiled.flip_flops
+        while stack:
+            net = stack.pop()
+            if net in tainted:
+                continue
+            tainted.add(net)
+            if net in self._output_nets:
+                reaches_output = True
+            for gate_index in self._net_sink_gates.get(net, ()):
+                if gate_index in self._voter_gates:
+                    voter_hits.add((gate_index, net))
+                    continue  # the majority voter absorbs a single taint
+                out = gates[gate_index].output_net
+                if out >= 0 and out not in tainted:
+                    stack.append(out)
+            for ff_index in self._net_sink_ffs.get(net, ()):
+                q_net = flip_flops[ff_index].q_net
+                if q_net >= 0 and q_net not in tainted:
+                    stack.append(q_net)
+        domains = frozenset(domain for domain in
+                            (self._net_domain[net] for net in tainted)
+                            if domain is not None)
+        memo = _TaintSummary(domains, frozenset(voter_hits), reaches_output)
+        self._taint_memo[seed] = memo
+        return memo
+
+    # ------------------------------------------------------------------
+    def _entry_nets(self, effect: FaultEffect
+                    ) -> Tuple[Set[int], Set[Tuple[int, int]]]:
+        """Nets that first carry a wrong value, plus direct voter-pin hits.
+
+        An override on a voter's *input pin* corrupts only what that voter
+        reads — the voter may still absorb it — so it is recorded as a
+        ``(voter gate, input position)`` hit instead of tainting the
+        voter's output.  An override of the voter's own truth table breaks
+        the voter itself and taints its output.
+        """
+        overlay = effect.overlay
+        gates = self.compiled.gates
+        flip_flops = self.compiled.flip_flops
+        entries: Set[int] = set()
+        voter_pin_hits: Set[Tuple[int, int]] = set()
+
+        for gate_index in overlay.lut_init_overrides:
+            out = gates[gate_index].output_net
+            if out >= 0:
+                entries.add(out)
+        for (gate_index, position) in overlay.gate_pin_overrides:
+            if gate_index in self._voter_gates:
+                voter_pin_hits.add((gate_index, position))
+                continue
+            out = gates[gate_index].output_net
+            if out >= 0:
+                entries.add(out)
+        for (ff_index, _port) in overlay.ff_pin_overrides:
+            q_net = flip_flops[ff_index].q_net
+            if q_net >= 0:
+                entries.add(q_net)
+        for ff_index in overlay.ff_init_overrides:
+            q_net = flip_flops[ff_index].q_net
+            if q_net >= 0:
+                entries.add(q_net)
+        for net in overlay.net_overrides:
+            if net >= 0:
+                entries.add(net)
+        return entries, voter_pin_hits
+
+    # ------------------------------------------------------------------
+    def classify_effect(self, effect: FaultEffect) -> BitPrediction:
+        overlay = effect.overlay
+        resource_kind = effect.resource[0]
+        if not effect.has_effect:
+            return BitPrediction(
+                bit=effect.bit, resource_kind=resource_kind,
+                category=effect.category, classification=SILENT,
+                has_effect=False, detail=effect.detail)
+
+        entries, voter_pin_hits = self._entry_nets(effect)
+        domains: Set[int] = set()
+        voter_hits: Set[Tuple[int, int]] = set()
+        reaches_output = bool(overlay.output_pin_overrides)
+        for entry in sorted(entries):
+            summary = self._taint_of_net(entry)
+            domains.update(summary.domains)
+            voter_hits.update(summary.voter_hits)
+            reaches_output = reaches_output or summary.reaches_output
+
+        # Count *distinct corrupted input positions* per voter: a taint
+        # arriving on input net N and a pin override of the position that
+        # reads N are the same corrupted leg, not two.
+        corrupted_positions: Dict[int, Set[int]] = {}
+        for (gate_index, net) in voter_hits:
+            inputs = self.compiled.gates[gate_index].input_nets
+            positions = corrupted_positions.setdefault(gate_index, set())
+            positions.update(position for position, input_net
+                             in enumerate(inputs) if input_net == net)
+        for (gate_index, position) in voter_pin_hits:
+            corrupted_positions.setdefault(gate_index, set()).add(position)
+
+        # A voter input position carries one redundant domain's copy.
+        for positions in corrupted_positions.values():
+            domains.update(position for position in positions
+                           if position < 3)
+
+        defeated_voters = [gate_index for gate_index, positions
+                           in corrupted_positions.items()
+                           if len(positions) >= 2]
+        barriers = tuple(sorted({self._voter_gates[gate_index]
+                                 for gate_index in corrupted_positions}))
+
+        if reaches_output or defeated_voters:
+            classification = DEFEAT
+        elif corrupted_positions:
+            classification = CORRECTABLE
+        else:
+            # The taint dead-ended: no output, no voter — provably silent.
+            classification = SILENT
+        return BitPrediction(
+            bit=effect.bit, resource_kind=resource_kind,
+            category=effect.category, classification=classification,
+            has_effect=True, detail=effect.detail,
+            domains=tuple(sorted(domains)), barriers=barriers,
+            reaches_output=reaches_output)
+
+    def classify_bit(self, bit: int) -> BitPrediction:
+        return self.classify_effect(self._effect_of_bit(bit))
+
+    # ------------------------------------------------------------------
+    def build_map(self, fault_list: Optional[FaultList] = None,
+                  mode: str = "design") -> DefeatMap:
+        """Classify every bit of *fault_list* (built on demand)."""
+        if fault_list is None:
+            fault_list = FaultListManager(self.implementation).build(mode)
+        predictions = {bit: self.classify_bit(bit)
+                       for bit in fault_list.bits}
+        return DefeatMap(design=self.implementation.design.name,
+                         mode=fault_list.mode, predictions=predictions)
+
+
+def _barrier_key(instance) -> str:
+    """Domain-invariant identity of a voter barrier.
+
+    The three per-domain voter LUTs of one barrier share the original
+    (pre-TMR) net they vote, so corruptions of different domains arriving
+    at "the same barrier" compare equal under this key.
+    """
+    role = instance.properties.get(VOTER_PROPERTY, "voter")
+    voted = instance.properties.get(VOTED_NET_PROPERTY)
+    if voted is not None:
+        return f"{role}:{voted}"
+    name = instance.name
+    for suffix in DOMAIN_SUFFIXES:
+        name = name.replace(suffix, "_tr*")
+    return f"{role}:{name}"
+
+
+# ----------------------------------------------------------------------
+# Map construction with campaign-cache memoization
+# ----------------------------------------------------------------------
+def defeat_map_for(implementation: Implementation,
+                   mode: str = "design",
+                   compiled: Optional[CompiledDesign] = None,
+                   modeler: Optional[FaultModeler] = None,
+                   effect_lookup: Optional[Callable[[int], FaultEffect]]
+                   = None,
+                   use_cache: bool = True) -> DefeatMap:
+    """The (memoized) static defeat map of one implemented design.
+
+    With *use_cache* the map is stored in the process-wide campaign cache
+    next to the golden traces and fault effects, so repeated campaigns —
+    and the ``prefilter="static"`` knob — classify each design once.
+    """
+    if use_cache:
+        from ..faults.cache import get_cache
+
+        cache = get_cache()
+        entry = cache.entry_for(implementation)
+
+        def build() -> DefeatMap:
+            analyzer = LayoutAnalyzer(implementation, compiled=compiled,
+                                      modeler=modeler,
+                                      effect_lookup=effect_lookup)
+            fault_list = entry.fault_list(mode, cache.stats)
+            return analyzer.build_map(fault_list)
+
+        return entry.defeat_map(mode, build, cache.stats)
+    analyzer = LayoutAnalyzer(implementation, compiled=compiled,
+                              modeler=modeler, effect_lookup=effect_lookup)
+    return analyzer.build_map(mode=mode)
+
+
+# ----------------------------------------------------------------------
+# Layout-aware robustness estimate
+# ----------------------------------------------------------------------
+def layout_robustness(implementation: Implementation,
+                      domain: int = 0,
+                      defeat_map: Optional[DefeatMap] = None,
+                      use_cache: bool = True) -> RobustnessEstimate:
+    """A :class:`~repro.core.analysis.RobustnessEstimate` from the layout.
+
+    Replaces the uniform-net collision proxy with the measured share of
+    domain-crossing fault-list bits whose corruptions meet at a common
+    voter barrier (or bypass voting), and reads region/voter counts from
+    the implemented flat netlist instead of the component-level one.
+    """
+    if defeat_map is None:
+        defeat_map = defeat_map_for(implementation, use_cache=use_cache)
+    definition = implementation.design
+    regions = compute_voter_regions(definition, domain)
+    voter_count = sum(1 for instance in definition.instances.values()
+                      if is_voter(instance))
+    return RobustnessEstimate(
+        cross_domain_defeat_probability=defeat_map.defeat_probability(),
+        num_regions=regions.num_regions,
+        voter_count=voter_count,
+        nets_per_domain=sum(regions.region_sizes.values()),
+    )
+
+
+def prediction_vs_campaign(defeat_map: DefeatMap,
+                           campaign_results: Sequence
+                           ) -> Dict[str, object]:
+    """Cross-validate the static map against one measured campaign.
+
+    The defeat-capable set must cover every bit that measured a wrong
+    answer (``superset_holds``); silent predictions must never have
+    measured one (``silent_sound``).  *campaign_results* is the
+    ``results`` list of a :class:`~repro.faults.campaign.CampaignResult`.
+    """
+    measured_wrong: Set[int] = set()
+    measured_silent_violations: List[int] = []
+    injected_bits: Set[int] = set()
+    for result in campaign_results:
+        injected_bits.add(result.bit)
+        if result.wrong_answer:
+            measured_wrong.add(result.bit)
+            if defeat_map.is_silent(result.bit):
+                measured_silent_violations.append(result.bit)
+    predicted_defeat = defeat_map.defeat_capable_bits()
+    uncovered = sorted(measured_wrong - predicted_defeat)
+    predicted_in_sample = predicted_defeat & injected_bits
+    return {
+        "injected_bits": len(injected_bits),
+        "measured_wrong_bits": len(measured_wrong),
+        "predicted_defeat_capable_in_sample": len(predicted_in_sample),
+        "superset_holds": not uncovered,
+        "uncovered_wrong_bits": uncovered[:20],
+        "silent_sound": not measured_silent_violations,
+        "silent_violations": sorted(measured_silent_violations)[:20],
+        # How sharp the static prediction is: of the injected bits it
+        # flagged defeat-capable, the share that measured wrong.
+        "precision": round(len(measured_wrong & predicted_in_sample)
+                           / len(predicted_in_sample), 4)
+        if predicted_in_sample else None,
+        "layout_defeat_probability":
+            round(defeat_map.defeat_probability(), 5),
+    }

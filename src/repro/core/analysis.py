@@ -16,9 +16,11 @@ import dataclasses
 from collections import defaultdict
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from ..netlist.ir import Definition, Instance, InstancePin, Net
+from ..netlist.ir import Definition, Instance, InstancePin, Net, TopPin
 from ..netlist.traversal import net_driver_instances, net_sink_instances
-from .voters import DOMAIN_PROPERTY, VOTER_PROPERTY, is_voter
+from .partition import is_register_component
+from .voters import DOMAIN_PROPERTY, VOTED_NET_PROPERTY, VOTER_PROPERTY, \
+    is_voter
 
 
 @dataclasses.dataclass
@@ -105,6 +107,11 @@ class VoterRegionReport:
     net_regions: Dict[str, int]
     #: number of regions
     num_regions: int
+    #: region id -> seed label ("voter:<voted net>", "ff:<instance>",
+    #: "input:<net>" or "cone:<net>"); labels are domain-invariant except
+    #: for the ``_tr<d>`` markers, which lets layout analyses match up the
+    #: corresponding regions of different domains
+    region_seeds: Dict[int, str] = dataclasses.field(default_factory=dict)
 
     def normalized_sizes(self) -> List[float]:
         total = sum(self.region_sizes.values())
@@ -125,35 +132,21 @@ def compute_voter_regions(definition: Definition,
     """Group the nets of one domain into voter regions.
 
     Traversal starts at voter outputs, primary inputs and flip-flop outputs
-    of the chosen domain and flows forward; a region ends where a voter input
-    is reached.  Because the three domains are structurally identical it is
-    sufficient to analyse one of them.
-    """
-    # Region seeds: each voter (barrier or register role) output that feeds
-    # this domain starts a new region; the primary-input cone is region 0.
-    region_of_net: Dict[str, int] = {}
-    next_region = 1
+    of the chosen domain and flows forward; a region ends where a voter
+    input or a state-element input is reached (a flip-flop output seeds its
+    own region, so the flood must not run through the register).  Because
+    the three domains are structurally identical it is sufficient to
+    analyse one of them.
 
-    def assign(net: Net, region: int) -> None:
-        stack = [net]
-        while stack:
-            current = stack.pop()
-            if current.name in region_of_net:
-                continue
-            region_of_net[current.name] = region
-            for pin in current.sinks():
-                if not isinstance(pin, InstancePin):
-                    continue
-                instance = pin.instance
-                if is_voter(instance):
-                    continue  # regions end at voter inputs
-                inst_domain = domain_of_instance(instance)
-                if inst_domain is not None and inst_domain != domain:
-                    continue
-                for out_pin in instance.pins():
-                    if out_pin.is_driver and out_pin.net is not None:
-                        if out_pin.net.name not in region_of_net:
-                            stack.append(out_pin.net)
+    Every seed class gets its own region: each voter output feeding the
+    domain, each flip-flop / register-stage output, and each disjoint
+    primary-input cone.  Undomained nets (shared clocks, final voted
+    outputs) are skipped during the flood-fill and never appear in
+    ``region_sizes``.
+    """
+    region_of_net: Dict[str, int] = {}
+    region_seeds: Dict[int, str] = {}
+    next_region = 0
 
     def net_in_domain(net: Net) -> bool:
         net_domain = domain_of_net(net)
@@ -162,27 +155,72 @@ def compute_voter_regions(definition: Definition,
         # Undomained nets (shared clocks, final outputs) are skipped.
         return False
 
-    # Seed from voter outputs feeding this domain.
+    def is_region_barrier(instance: Instance) -> bool:
+        return is_voter(instance) or is_register_component(instance)
+
+    def assign(net: Net, region: int) -> None:
+        stack = [net]
+        while stack:
+            current = stack.pop()
+            if current.name in region_of_net or not net_in_domain(current):
+                continue
+            region_of_net[current.name] = region
+            for pin in current.sinks():
+                if not isinstance(pin, InstancePin):
+                    continue
+                instance = pin.instance
+                if is_region_barrier(instance):
+                    continue  # regions end at voter / register inputs
+                inst_domain = domain_of_instance(instance)
+                if inst_domain is not None and inst_domain != domain:
+                    continue
+                for out_pin in instance.pins():
+                    if out_pin.is_driver and out_pin.net is not None:
+                        if out_pin.net.name not in region_of_net:
+                            stack.append(out_pin.net)
+
+    def seed(net: Net, label: str) -> None:
+        nonlocal next_region
+        if net.name in region_of_net or not net_in_domain(net):
+            return
+        region_seeds[next_region] = label
+        assign(net, next_region)
+        next_region += 1
+
+    # 1. Voter outputs feeding this domain, in definition order.
     for instance in definition.instances.values():
         if not is_voter(instance):
             continue
+        voted = instance.properties.get(VOTED_NET_PROPERTY)
         for pin in instance.pins():
-            if pin.is_driver and pin.net is not None and \
-                    net_in_domain(pin.net):
-                assign(pin.net, next_region)
-                next_region += 1
+            if pin.is_driver and pin.net is not None:
+                seed(pin.net, f"voter:{voted}" if voted is not None
+                     else f"voter:{instance.name}")
 
-    # Seed from primary inputs and any remaining undriven-by-voter nets.
-    for net in definition.nets.values():
-        if net.name in region_of_net or not net_in_domain(net):
+    # 2. Flip-flop / register-stage outputs of this domain.
+    for instance in definition.instances.values():
+        if is_voter(instance) or not is_register_component(instance):
             continue
-        assign(net, 0)
+        for pin in instance.pins():
+            if pin.is_driver and pin.net is not None:
+                seed(pin.net, f"ff:{instance.name}")
+
+    # 3. Each disjoint primary-input cone.
+    for pin in definition.top_pins():
+        if isinstance(pin, TopPin) and pin.is_driver and pin.net is not None:
+            seed(pin.net, f"input:{pin.net.name}")
+
+    # 4. Any remaining cone (constants, undriven islands), deterministically.
+    for name in sorted(definition.nets):
+        net = definition.nets[name]
+        if net.name not in region_of_net:
+            seed(net, f"cone:{net.name}")
 
     region_sizes: Dict[int, int] = defaultdict(int)
     for region in region_of_net.values():
         region_sizes[region] += 1
     return VoterRegionReport(dict(region_sizes), region_of_net,
-                             len(region_sizes))
+                             len(region_sizes), region_seeds)
 
 
 # ----------------------------------------------------------------------
@@ -208,13 +246,30 @@ class RobustnessEstimate:
 
 
 def estimate_robustness(definition: Definition,
-                        domain: int = 0) -> RobustnessEstimate:
+                        domain: int = 0,
+                        implementation=None) -> RobustnessEstimate:
     """Estimate how often a random domain-crossing short defeats the TMR.
 
-    The model assumes the two shorted signals are chosen uniformly from two
-    different domains (no floorplanning — the paper's setting) and that the
-    TMR fails exactly when both fall into the same voter region.
+    The netlist-only model assumes the two shorted signals are chosen
+    uniformly from two different domains (no floorplanning — the paper's
+    setting) and that the TMR fails exactly when both fall into the same
+    voter region.  When an *implementation*
+    (:class:`~repro.pnr.flow.Implementation`) is supplied, the uniform-net
+    proxy is replaced by the layout-aware defeat probability of
+    :mod:`repro.analysis.layout`, computed over the actual fault list of
+    the routed design.
     """
+    if implementation is not None:
+        if implementation.design is not definition:
+            raise ValueError(
+                f"implementation implements "
+                f"{implementation.design.name!r}, not the given "
+                f"definition {definition.name!r}; pass "
+                f"implementation.design (the layout-aware estimate is "
+                f"computed from the routed design)")
+        from ..analysis.layout import layout_robustness
+
+        return layout_robustness(implementation, domain)
     regions = compute_voter_regions(definition, domain)
     voters = [inst for inst in definition.instances.values()
               if is_voter(inst)]

@@ -15,10 +15,13 @@ import dataclasses
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..netlist.ir import Definition, Netlist
+from ..netlist.traversal import combinational_predecessors
 from .analysis import RobustnessEstimate, estimate_robustness
 from .partition import (AllComponents, ByComponentType, EveryKth, NoPartition,
-                        PartitionStrategy, combinational_components)
+                        PartitionStrategy, combinational_components,
+                        component_topological_order, is_register_component)
 from .tmr import TMRConfig, TMRResult, apply_tmr
+from .voters import is_voter
 
 
 @dataclasses.dataclass
@@ -78,15 +81,39 @@ def default_candidates(definition: Definition) -> List[PartitionStrategy]:
 
 
 def _estimate_extra_levels(result: TMRResult) -> int:
-    """Each voter barrier on the datapath adds one LUT level per region."""
-    roles = result.voters_by_role
-    barrier_regions = 0
-    if roles.get("barrier", 0) or roles.get("register", 0):
-        # Regions along the longest path roughly equals voted blocks on it;
-        # use the number of voted component blocks as a proxy.
-        barrier_regions = len({name.rsplit("[", 1)[0]
-                               for name in result.voted_nets})
-    return 1 + barrier_regions  # +1 for the final output voter
+    """Voter LUT levels added on the longest register-to-register path.
+
+    Walks the TMR'd component netlist in topological order (register
+    stages cut the graph, exactly as they cut timing paths) and counts,
+    per instance, the maximum number of voter LUTs on any combinational
+    path ending there.  The result is the voter depth of the critical
+    path — the quantity the paper's Table 2 performance column reacts to —
+    rather than the design-wide voted-block count, which overcounts
+    barriers that sit on parallel (non-critical) paths.
+    """
+    definition = result.definition
+    voters_on_path: Dict[str, int] = {}
+    deepest = 0
+    for instance in component_topological_order(definition):
+        if is_register_component(instance) and not is_voter(instance):
+            # Register outputs start a fresh timing path.
+            voters_on_path[instance.name] = 0
+            continue
+        depth = 0
+        for predecessor in combinational_predecessors(instance):
+            if predecessor.parent is not definition or \
+                    predecessor.name == instance.name:
+                continue
+            if is_register_component(predecessor) and \
+                    not is_voter(predecessor):
+                continue
+            depth = max(depth, voters_on_path.get(predecessor.name, 0))
+        if is_voter(instance):
+            depth += 1
+        voters_on_path[instance.name] = depth
+        deepest = max(deepest, depth)
+    # Every TMR version ends in at least the final output voter.
+    return max(deepest, 1)
 
 
 def sweep_partitions(netlist: Netlist, top: Definition,

@@ -60,6 +60,19 @@ def add_upset_model_argument(parser: argparse.ArgumentParser,
                 " (default: the scenario's)"))
 
 
+def add_prefilter_argument(parser: argparse.ArgumentParser,
+                           default: Optional[str] = "none") -> None:
+    """``--prefilter``: skip provably-silent bits before simulation."""
+    from ..faults.campaign import PREFILTER_CHOICES
+
+    parser.add_argument(
+        "--prefilter", default=default, choices=PREFILTER_CHOICES,
+        help="campaign prefilter: 'static' skips bits the layout "
+             "analyzer proves silent (verdicts stay bit-identical)"
+             + (f" (default: {default})" if default else
+                " (default: the scenario's)"))
+
+
 def add_faults_argument(parser: argparse.ArgumentParser) -> None:
     """``--faults``: upsets injected per design (scale default otherwise)."""
     parser.add_argument(
@@ -91,13 +104,15 @@ def experiment_parser(description: Optional[str],
                       backend_default: Optional[str] = "serial",
                       faults: bool = False,
                       upset_model: bool = False,
+                      prefilter: bool = False,
                       json_flag: bool = True,
                       ) -> argparse.ArgumentParser:
     """A parser with the standard experiment surface pre-populated.
 
-    ``--backend`` (and optionally ``--faults`` / ``--upset-model``) are
-    added when the driver runs campaigns; ``--flow-cache`` / ``--jobs``
-    are always present and ``--json`` unless the driver has no text mode.
+    ``--backend`` (and optionally ``--faults`` / ``--upset-model`` /
+    ``--prefilter``) are added when the driver runs campaigns;
+    ``--flow-cache`` / ``--jobs`` are always present and ``--json`` unless
+    the driver has no text mode.
     """
     parser = argparse.ArgumentParser(description=description)
     add_scale_argument(parser, default=scale_default)
@@ -107,6 +122,8 @@ def experiment_parser(description: Optional[str],
         add_faults_argument(parser)
     if upset_model:
         add_upset_model_argument(parser)
+    if prefilter:
+        add_prefilter_argument(parser)
     add_flow_arguments(parser)
     if json_flag:
         add_json_argument(parser)

@@ -31,7 +31,8 @@ def campaign_config_for(suite: DesignSuite,
                         num_faults: Optional[int] = None,
                         fault_list_mode: str = "design",
                         seed: int = 2005,
-                        upset_model: str = "single") -> CampaignConfig:
+                        upset_model: str = "single",
+                        prefilter: str = "none") -> CampaignConfig:
     return CampaignConfig(
         num_faults=num_faults if num_faults is not None
         else suite.scale.campaign_faults,
@@ -39,6 +40,7 @@ def campaign_config_for(suite: DesignSuite,
         fault_list_mode=fault_list_mode,
         seed=seed,
         upset_model=upset_model,
+        prefilter=prefilter,
     )
 
 
@@ -50,16 +52,19 @@ def run_table3(suite: Optional[DesignSuite] = None,
                backend: BackendLike = None,
                jobs: int = 1,
                flow_cache: StoreLike = None,
-               upset_model: str = "single") -> Dict[str, CampaignResult]:
+               upset_model: str = "single",
+               prefilter: str = "none") -> Dict[str, CampaignResult]:
     """Run the Table 3 campaigns and return one result per design.
 
     *backend* selects the campaign execution backend (``"serial"``,
     ``"batch"``, ``"process"`` or the bit-parallel ``"vector"``); every
     backend yields identical results.  *upset_model* selects how many bits
     one injection flips (``"single"``, ``"mbu[:k]"``, ``"accumulate[:k]"``
-    — see :mod:`repro.faults.upsets`).  *jobs* and *flow_cache* speed up
-    the implementation step (parallel place-and-route, persistent flow
-    artifacts) without changing any campaign number.
+    — see :mod:`repro.faults.upsets`).  *prefilter* (``"static"``) lets
+    the layout analyzer skip provably-silent bits; *jobs* and
+    *flow_cache* speed up the implementation step (parallel
+    place-and-route, persistent flow artifacts).  None of these knobs
+    changes any campaign number.
     """
     from ..pipeline import PipelineContext, pipeline_for
 
@@ -71,6 +76,7 @@ def run_table3(suite: Optional[DesignSuite] = None,
         upset_model=upset_model,
         fault_list_mode=fault_list_mode,
         num_faults=num_faults,
+        prefilter=prefilter,
         jobs=jobs,
         flow_cache=flow_cache,
         progress=progress,
@@ -92,7 +98,8 @@ def summarize(results: Dict[str, CampaignResult]) -> Dict[str, object]:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    parser = experiment_parser(__doc__, faults=True, upset_model=True)
+    parser = experiment_parser(__doc__, faults=True, upset_model=True,
+                               prefilter=True)
     parser.add_argument("--fault-list", default="design",
                         choices=("design", "extended", "programmed"),
                         help="fault-list selection mode")
@@ -112,6 +119,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "table3-fir", scale=arguments.scale,
             backend=arguments.backend, upset_model=arguments.upset_model,
             num_faults=arguments.faults,
+            prefilter=arguments.prefilter,
             fault_list_mode=arguments.fault_list,
             jobs=arguments.jobs, flow_cache=arguments.flow_cache,
             progress=True)
@@ -123,7 +131,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                          fault_list_mode=arguments.fault_list, progress=True,
                          backend=arguments.backend, jobs=arguments.jobs,
                          flow_cache=arguments.flow_cache,
-                         upset_model=arguments.upset_model)
+                         upset_model=arguments.upset_model,
+                         prefilter=arguments.prefilter)
     print(table3_report(results, order=[n for n in DESIGN_ORDER
                                         if n in results],
                         paper_reference=PAPER_TABLE3_PERCENT))

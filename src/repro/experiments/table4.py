@@ -48,7 +48,8 @@ def derived_claims(results: Dict[str, CampaignResult]) -> Dict[str, object]:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    parser = experiment_parser(__doc__, faults=True, upset_model=True)
+    parser = experiment_parser(__doc__, faults=True, upset_model=True,
+                               prefilter=True)
     arguments = parser.parse_args(argv)
 
     if arguments.json:
@@ -58,7 +59,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         report = run_scenario(
             "table4-fir", scale=arguments.scale,
             backend=arguments.backend, upset_model=arguments.upset_model,
-            num_faults=arguments.faults, jobs=arguments.jobs,
+            num_faults=arguments.faults, prefilter=arguments.prefilter,
+            jobs=arguments.jobs,
             flow_cache=arguments.flow_cache, progress=True)
         print(json.dumps(stable_report(report), indent=2, default=str,
                          sort_keys=True))
@@ -68,7 +70,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                          progress=True, backend=arguments.backend,
                          jobs=arguments.jobs,
                          flow_cache=arguments.flow_cache,
-                         upset_model=arguments.upset_model)
+                         upset_model=arguments.upset_model,
+                         prefilter=arguments.prefilter)
     print(table4_report(results, order=[n for n in DESIGN_ORDER
                                         if n in results]))
     claims = derived_claims(results)

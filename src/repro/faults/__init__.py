@@ -4,8 +4,9 @@ from . import categories
 from .cache import (CampaignCache, CampaignCacheEntry, cache_stats,
                     clear_cache, configure_cache, get_cache,
                     implementation_fingerprint)
-from .campaign import (CampaignConfig, CampaignResult, CategoryCount,
-                       default_stimulus, run_campaign, run_campaigns)
+from .campaign import (PREFILTER_CHOICES, CampaignConfig, CampaignResult,
+                       CategoryCount, default_stimulus, run_campaign,
+                       run_campaigns)
 from .engine import (BACKEND_CHOICES, BACKENDS, BatchBackend,
                      CampaignContext, ExecutionBackend, FaultTask,
                      FaultVerdict, ProcessPoolBackend, ProgressCallback,
@@ -21,7 +22,8 @@ from .upsets import (UPSET_MODEL_CHOICES, UPSET_MODELS, AccumulatedUpset,
                      resolve_upset_model)
 
 __all__ = [
-    "categories", "CampaignConfig", "CampaignResult", "CategoryCount",
+    "categories", "PREFILTER_CHOICES", "CampaignConfig", "CampaignResult",
+    "CategoryCount",
     "default_stimulus", "run_campaign", "run_campaigns", "FAULT_LIST_MODES",
     "FaultList", "FaultListManager", "FaultInjectionManager", "FaultResult",
     "FaultEffect", "FaultModeler", "campaign_details", "format_table",

@@ -63,6 +63,8 @@ class CacheStats:
     fault_list_misses: int = 0
     cone_hits: int = 0
     cone_misses: int = 0
+    defeat_map_hits: int = 0
+    defeat_map_misses: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return dataclasses.asdict(self)
@@ -112,6 +114,8 @@ class CampaignCacheEntry:
             = OrderedDict()
         self._effects: Dict[int, "FaultEffect"] = {}
         self._cones: Dict[Tuple[int, ...], FaultCone] = {}
+        #: fault-list mode -> static defeat map (repro.analysis.layout)
+        self._defeat_maps: Dict[str, object] = {}
 
     # ------------------------------------------------------------------
     def compiled_design(self, stats: CacheStats,
@@ -128,6 +132,7 @@ class CampaignCacheEntry:
                     self._golden.clear()
                     self._cones.clear()
                     self._effects.clear()
+                    self._defeat_maps.clear()
                     self._vector_program = None
                 self._compiled = compiled
             return compiled
@@ -197,6 +202,22 @@ class CampaignCacheEntry:
         else:
             stats.effect_hits += 1
         return effect
+
+    def defeat_map(self, mode: str, build, stats: CacheStats):
+        """The memoized static defeat map (see :mod:`repro.analysis.layout`).
+
+        *build* is a zero-argument factory, called once per fault-list
+        mode; like the modeler in :meth:`effect_of_bit` it comes from the
+        caller so this entry never holds the implementation strongly.
+        """
+        defeat_map = self._defeat_maps.get(mode)
+        if defeat_map is None:
+            stats.defeat_map_misses += 1
+            defeat_map = build()
+            self._defeat_maps[mode] = defeat_map
+        else:
+            stats.defeat_map_hits += 1
+        return defeat_map
 
     def cone(self, seed_nets: Sequence[int], compiled: CompiledDesign,
              stats: CacheStats) -> FaultCone:

@@ -28,11 +28,17 @@ from ..sim.vectors import campaign_workload, stimulus_from_samples, \
     tmr_stimulus_from_samples
 from . import categories
 from .cache import get_cache
-from .engine import (BackendLike, CampaignContext, ProgressCallback,
-                     resolve_backend)
+from .engine import (BackendLike, CampaignContext, FaultTask, FaultVerdict,
+                     ProgressCallback, resolve_backend)
 from .fault_list import FaultListManager
 from .injector import FaultResult
 from .upsets import UpsetModelLike, resolve_upset_model
+
+#: Campaign prefilter modes: ``"none"`` evaluates every sampled injection;
+#: ``"static"`` synthesizes the verdicts of injections whose every bit the
+#: layout analyzer (:mod:`repro.analysis.layout`) proved silent, so the
+#: backends only simulate faults that can possibly change an output.
+PREFILTER_CHOICES = ("none", "static")
 
 
 @dataclasses.dataclass
@@ -58,6 +64,9 @@ class CampaignConfig:
     #: ``"single"`` (seed semantics), ``"mbu[:k]"`` (adjacent multi-bit
     #: clusters) or ``"accumulate[:k]"`` (upsets accrue between scrubs)
     upset_model: UpsetModelLike = "single"
+    #: ``"static"`` skips provably-silent bits via the layout analyzer's
+    #: defeat map; verdicts and aggregates stay bit-identical to ``"none"``
+    prefilter: str = "none"
 
 
 @dataclasses.dataclass
@@ -86,6 +95,15 @@ class CampaignResult:
     upset_model: str = "single"
     #: fault-sampling seed of the campaign (provenance for reports)
     seed: int = 2005
+    #: prefilter mode the campaign ran under (``"none"`` / ``"static"``)
+    prefilter: str = "none"
+    #: injections skipped as provably silent (verdicts synthesized)
+    skipped_silent: int = 0
+
+    @property
+    def simulated(self) -> int:
+        """Injections actually evaluated by the execution backend."""
+        return self.injected - self.skipped_silent
 
     @property
     def wrong_answer_percent(self) -> float:
@@ -111,6 +129,27 @@ class CampaignResult:
             "wrong": self.wrong_answers,
             "wrong_percent": round(self.wrong_answer_percent, 2),
         }
+
+
+def _synthesized_silent_verdict(task: FaultTask) -> FaultVerdict:
+    """The verdict a provably-silent injection would simulate to.
+
+    Matches :meth:`~repro.faults.engine.CampaignContext.evaluate` exactly:
+    the category/resource/detail surface comes from the modelled effect,
+    and a fault whose taint never reaches an output can neither produce a
+    wrong answer nor a first mismatch cycle.
+    """
+    effect = task.effect
+    return FaultVerdict(
+        index=task.index,
+        bit=task.bit,
+        resource_kind=effect.resource[0],
+        category=effect.category,
+        has_effect=effect.has_effect,
+        wrong_answer=False,
+        first_mismatch_cycle=None,
+        detail=effect.detail,
+    )
 
 
 def default_stimulus(implementation: Implementation,
@@ -157,8 +196,15 @@ def run_campaign(implementation: Implementation,
                  fault_bits: Optional[Sequence[int]] = None,
                  progress: Optional[ProgressCallback] = None,
                  backend: BackendLike = None,
-                 use_cache: bool = True) -> CampaignResult:
-    """Run one fault-injection campaign on an implemented design."""
+                 use_cache: bool = True,
+                 defeat_map=None) -> CampaignResult:
+    """Run one fault-injection campaign on an implemented design.
+
+    *defeat_map* optionally supplies a prebuilt static defeat map
+    (:class:`repro.analysis.layout.DefeatMap`) for the ``"static"``
+    prefilter; without one the map is built (or read from the campaign
+    cache) on first use.
+    """
     config = config if config is not None else CampaignConfig()
     engine = resolve_backend(backend)
     model = resolve_upset_model(config.upset_model)
@@ -193,8 +239,64 @@ def run_campaign(implementation: Implementation,
         # the historical one-bit-per-injection semantics.
         groups = [(bit,) for bit in fault_bits]
 
-    tasks = context.tasks_for_groups(groups)
-    verdicts = engine.run(context, tasks, progress)
+    if config.prefilter not in PREFILTER_CHOICES:
+        raise ValueError(f"unknown campaign prefilter "
+                         f"{config.prefilter!r}; choose from "
+                         f"{PREFILTER_CHOICES}")
+    skipped_silent = 0
+    if config.prefilter == "static" and groups:
+        if defeat_map is None:
+            from ..analysis.layout import defeat_map_for
+
+            defeat_map = defeat_map_for(
+                implementation, mode=config.fault_list_mode,
+                compiled=context.compiled, modeler=context.modeler,
+                effect_lookup=context.effect_of_bit, use_cache=use_cache)
+        # Split the injections *before* modeling them into tasks: silent
+        # single-bit injections synthesize their verdicts straight from
+        # the map's predictions (which carry the effect's verdict
+        # surface), so the campaign never touches their fault models.
+        live_groups: List[tuple] = []      # (original index, bit tuple)
+        silent_groups: List[tuple] = []
+        for index, group in enumerate(groups):
+            bits = tuple(group)
+            # A multi-bit injection is skippable only when *every* bit of
+            # the cluster is proved silent: taint closures are unions, so
+            # the merged overlay's closure misses the outputs too.
+            if all(defeat_map.is_silent(bit) for bit in bits):
+                silent_groups.append((index, bits))
+            else:
+                live_groups.append((index, bits))
+        skipped_silent = len(silent_groups)
+        # Backends index scratch arrays by task.index, so the live subset
+        # is modeled with dense indices; verdicts are mapped back to the
+        # original injection indices before aggregation.
+        live_tasks = context.tasks_for_groups(
+            [bits for _index, bits in live_groups])
+        live_verdicts = engine.run(context, live_tasks, progress)
+        verdicts = [
+            dataclasses.replace(verdict, index=index)
+            for (index, _bits), verdict in zip(live_groups, live_verdicts)]
+        for index, bits in silent_groups:
+            if len(bits) == 1:
+                prediction = defeat_map.predictions[bits[0]]
+                verdicts.append(FaultVerdict(
+                    index=index, bit=bits[0],
+                    resource_kind=prediction.resource_kind,
+                    category=prediction.category,
+                    has_effect=prediction.has_effect,
+                    wrong_answer=False, first_mismatch_cycle=None,
+                    detail=prediction.detail))
+            else:
+                # Multi-bit clusters need the merged effect's category /
+                # detail surface; per-bit effects are cache-backed.
+                task = context.tasks_for_groups([bits])[0]
+                verdicts.append(dataclasses.replace(
+                    _synthesized_silent_verdict(task), index=index))
+        verdicts.sort(key=lambda verdict: verdict.index)
+    else:
+        tasks = context.tasks_for_groups(groups)
+        verdicts = engine.run(context, tasks, progress)
 
     results: List[FaultResult] = []
     by_category: Dict[str, CategoryCount] = {
@@ -220,6 +322,8 @@ def run_campaign(implementation: Implementation,
         backend=engine.name,
         upset_model=model.describe(),
         seed=config.seed,
+        prefilter=config.prefilter,
+        skipped_silent=skipped_silent,
     )
 
 

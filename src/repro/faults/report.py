@@ -79,8 +79,7 @@ def campaign_details(result: CampaignResult) -> str:
         counts = result.by_category.get(category)
         if counts is None or counts.injected == 0:
             continue
-        share = 100.0 * counts.wrong / counts.injected if counts.injected \
-            else 0.0
+        share = 100.0 * counts.wrong / counts.injected
         rows.append([category, counts.injected, counts.wrong,
                      f"{share:.1f}"])
     return format_table(

@@ -86,6 +86,7 @@ class PipelineContext:
                  upset_model: str = "single",
                  fault_list_mode: str = "design",
                  num_faults: Optional[int] = None,
+                 prefilter: str = "none",
                  seed: int = 2005,
                  jobs: int = 1,
                  flow_cache: StoreLike = None,
@@ -101,6 +102,7 @@ class PipelineContext:
         self.upset_model = upset_model
         self.fault_list_mode = fault_list_mode
         self.num_faults = num_faults
+        self.prefilter = prefilter
         self.seed = seed
         self.jobs = jobs
         self.store = resolve_store(flow_cache)
@@ -273,9 +275,11 @@ class CampaignStage(Stage):
     name = "campaign"
 
     def _inputs(self, ctx: PipelineContext) -> str:
-        # The backend is deliberately absent: every backend produces
-        # bit-identical campaign results, so it does not change the
-        # result identity (it is still recorded in the report).
+        # The backend and the prefilter are deliberately absent: every
+        # backend produces bit-identical campaign results and the static
+        # prefilter only synthesizes provably-identical verdicts, so
+        # neither changes the result identity (both are still recorded in
+        # the report).
         return (f"{ctx.identity()}|seed={ctx.seed}"
                 f"|faults={ctx.num_faults}"
                 f"|model={resolve_upset_model(ctx.upset_model).describe()}"
@@ -295,6 +299,7 @@ class CampaignStage(Stage):
             fault_list_mode=ctx.fault_list_mode,
             seed=ctx.seed,
             upset_model=ctx.upset_model,
+            prefilter=ctx.prefilter,
         )
         engine = resolve_backend(ctx.backend)
         for name in ctx.designs:
@@ -314,6 +319,9 @@ class CampaignStage(Stage):
                          for name, result in ctx.campaigns.items()},
             "backend": engine.name,
             "upset_model": resolve_upset_model(ctx.upset_model).describe(),
+            "prefilter": ctx.prefilter,
+            "skipped_silent": {name: result.skipped_silent
+                               for name, result in ctx.campaigns.items()},
         }
 
 
@@ -396,6 +404,56 @@ def _analyze_sweep(ctx: PipelineContext) -> Dict[str, object]:
     return partition_sweep(suite=ctx.suite)
 
 
+def _defeat_maps_of(ctx: PipelineContext) -> Dict[str, object]:
+    from .analysis.layout import defeat_map_for
+
+    assert ctx.implementations is not None, "implement stage must run first"
+    return {name: defeat_map_for(ctx.implementations[name],
+                                 mode=ctx.fault_list_mode)
+            for name in ctx.designs if name in ctx.implementations}
+
+
+def _analyze_defeat_map(ctx: PipelineContext) -> Dict[str, object]:
+    """Static defeat maps per design, next to the netlist-only estimate."""
+    from .core.analysis import estimate_robustness
+
+    summary: Dict[str, object] = {}
+    for name, defeat_map in _defeat_maps_of(ctx).items():
+        entry = defeat_map.summary()
+        tmr_result = (ctx.suite.tmr.get(name)
+                      if ctx.suite is not None else None)
+        if tmr_result is not None:
+            netlist_estimate = estimate_robustness(tmr_result.definition)
+            entry["netlist_defeat_probability"] = round(
+                netlist_estimate.cross_domain_defeat_probability, 5)
+        summary[name] = entry
+    return summary
+
+
+def _analyze_prediction(ctx: PipelineContext) -> Dict[str, object]:
+    """Cross-validate the static defeat map against measured campaigns.
+
+    For every campaigned design, the statically predicted defeat-capable
+    set must cover every bit that measured a wrong answer, and no bit
+    predicted silent may have measured one.
+    """
+    from .analysis.layout import prediction_vs_campaign
+
+    summary: Dict[str, object] = {}
+    for name, defeat_map in _defeat_maps_of(ctx).items():
+        campaign = ctx.campaigns.get(name)
+        if campaign is None:
+            continue
+        entry = prediction_vs_campaign(defeat_map, campaign.results)
+        entry["skipped_silent"] = campaign.skipped_silent
+        entry["simulated"] = campaign.simulated
+        summary[name] = entry
+    summary["all_supersets_hold"] = all(
+        entry["superset_holds"] for entry in summary.values()
+        if isinstance(entry, dict))
+    return summary
+
+
 #: analysis name -> function(ctx) -> JSON-serializable summary
 ANALYSES = {
     "resources": resources_analysis,
@@ -403,6 +461,8 @@ ANALYSES = {
     "table4": _analyze_table4,
     "figures": _analyze_figures,
     "sweep": _analyze_sweep,
+    "defeat_map": _analyze_defeat_map,
+    "prediction_vs_campaign": _analyze_prediction,
 }
 
 
@@ -498,6 +558,9 @@ def _campaign_entry(result: CampaignResult) -> Dict[str, object]:
         "backend": result.backend,
         "upset_model": result.upset_model,
         "seed": result.seed,
+        "prefilter": result.prefilter,
+        "skipped_silent": result.skipped_silent,
+        "simulated": result.simulated,
         "effects": result.effect_table(),
         "faults_per_second": round(result.faults_per_second, 1),
     }

@@ -52,6 +52,9 @@ class Scenario:
     fault_list_mode: str = "design"
     #: upsets per design (``None``: the scale's default)
     num_faults: Optional[int] = None
+    #: campaign prefilter: ``"none"`` or ``"static"`` (skip provably-silent
+    #: bits via the layout analyzer; verdicts stay bit-identical)
+    prefilter: str = "none"
     seed: int = 2005
     #: pipeline stages, in order (names from the stage library)
     stages: Tuple[str, ...] = ("build", "implement", "campaign", "analyze")
@@ -88,6 +91,7 @@ class Scenario:
             upset_model=self.upset_model,
             fault_list_mode=self.fault_list_mode,
             num_faults=self.num_faults,
+            prefilter=self.prefilter,
             seed=self.seed,
             jobs=jobs,
             flow_cache=flow_cache,
@@ -234,6 +238,35 @@ register_scenario(Scenario(
 ))
 
 register_scenario(Scenario(
+    id="defeat-map-fir",
+    title="Layout-aware defeat map",
+    description="Classify every fault-list bit of each implemented "
+                "version as silent / single-domain-correctable / "
+                "cross-domain-defeat-capable by walking the routed "
+                "layout, and compare the layout-aware defeat probability "
+                "with the netlist-only analytical estimate.",
+    scale="smoke",
+    stages=("build", "implement", "analyze"),
+    analyses=("defeat_map",),
+))
+
+register_scenario(Scenario(
+    id="prediction-vs-campaign",
+    title="Static prediction vs measured campaign",
+    description="Cross-validate the layout analyzer against injection: "
+                "the predicted defeat-capable set must cover every "
+                "measured wrong-answer bit and silent predictions must "
+                "never measure wrong.  The campaign deliberately runs "
+                "unprefiltered so the measurement is independent of the "
+                "prediction it validates (the prefilter's own "
+                "verdict-identity is covered by benchmarks/test_predict "
+                "and the engine equivalence tests).",
+    scale="smoke",
+    backend="vector",
+    analyses=("table3", "prediction_vs_campaign"),
+))
+
+register_scenario(Scenario(
     id="partition-shortlist",
     title="Optimizer shortlist campaign",
     description="Sweep voter partitions analytically, implement the "
@@ -256,6 +289,7 @@ def run_scenario(scenario: Union[str, Scenario], *,
                  backend: Optional[str] = None,
                  upset_model: Optional[str] = None,
                  num_faults: Optional[int] = None,
+                 prefilter: Optional[str] = None,
                  seed: Optional[int] = None,
                  fault_list_mode: Optional[str] = None,
                  designs: Optional[Sequence[str]] = None,
@@ -283,6 +317,8 @@ def run_scenario(scenario: Union[str, Scenario], *,
         overrides["upset_model"] = upset_model
     if num_faults is not None:
         overrides["num_faults"] = num_faults
+    if prefilter is not None:
+        overrides["prefilter"] = prefilter
     if seed is not None:
         overrides["seed"] = seed
     if fault_list_mode is not None:
@@ -296,11 +332,16 @@ def run_scenario(scenario: Union[str, Scenario], *,
 
     # Fail fast on an invalid backend or upset-model spec (including ones
     # hidden in matrix axes) before any expensive build/implement work.
-    from .faults import resolve_backend, resolve_upset_model
+    from .faults import PREFILTER_CHOICES, resolve_backend, \
+        resolve_upset_model
 
     for _, variant in scenario.variants():
         resolve_backend(variant.backend)
         resolve_upset_model(variant.upset_model)
+        if variant.prefilter not in PREFILTER_CHOICES:
+            raise ValueError(f"unknown campaign prefilter "
+                             f"{variant.prefilter!r}; choose from "
+                             f"{PREFILTER_CHOICES}")
 
     if repeat < 1:
         raise ValueError("repeat must be at least 1")

@@ -248,8 +248,12 @@ class TestAnalysis:
             name: estimate_robustness(result.definition)
             .cross_domain_defeat_probability
             for name, result in tiny_tmr_suite.items()}
-        assert probabilities["p1"] < probabilities["p3"]
-        assert probabilities["p3_nv"] == pytest.approx(1.0)
+        assert probabilities["p1"] < probabilities["p2"] \
+            < probabilities["p3"] < probabilities["p3_nv"]
+        # The registered pipeline still cuts the unvoted version into
+        # regions (flip-flop outputs seed their own), so the probability is
+        # high but no longer the degenerate single-region 1.0.
+        assert probabilities["p3_nv"] < 1.0
 
     def test_cross_domain_pairs_grow_with_voters(self, tiny_tmr_suite):
         pairs = {name: cross_domain_signal_pairs(result.definition)

@@ -1,0 +1,275 @@
+"""Tests for the layout-aware defeat analyzer and the voter-region fix.
+
+Covers the PR's acceptance properties:
+
+* the voter-region regression (a registered design without intermediate
+  voters must decompose into flip-flop/primary-input regions instead of
+  one lumped region 0, and undomained nets must never leak into the
+  region sizes);
+* critical-path voter depth monotonicity across the paper's partitions;
+* soundness of the static classification — every bit predicted silent
+  measures ``wrong_answers == 0`` under the serial backend, and every
+  measured wrong-answer bit was predicted defeat-capable;
+* prefiltered campaigns are verdict-identical (including
+  ``first_mismatch_cycle``) to unfiltered ones across all four backends
+  and under the multi-bit upset models.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.layout import (CORRECTABLE, DEFEAT, SILENT,
+                                   LayoutAnalyzer, defeat_map_for,
+                                   layout_robustness,
+                                   prediction_vs_campaign)
+from repro.core import compute_voter_regions, estimate_robustness
+from repro.core.optimizer import _estimate_extra_levels
+from repro.faults import (CampaignConfig, FaultListManager,
+                          ProcessPoolBackend, run_campaign)
+
+
+@pytest.fixture(scope="module")
+def tmr_defeat_map(tiny_tmr_implementation):
+    return defeat_map_for(tiny_tmr_implementation)
+
+
+@pytest.fixture(scope="module")
+def standard_defeat_map(tiny_fir_implementation):
+    return defeat_map_for(tiny_fir_implementation)
+
+
+class TestVoterRegionFix:
+    def test_registered_unvoted_design_is_not_one_region(self,
+                                                         tiny_tmr_suite):
+        """The regression the seed code had: TMR_p3_nv has no in-domain
+        voter outputs, so every net landed in one shared region 0 (a
+        single region).  The fixed analysis seeds flip-flop outputs and
+        disjoint primary-input cones separately."""
+        report = compute_voter_regions(tiny_tmr_suite["p3_nv"].definition)
+        assert report.num_regions >= 3
+        assert any(label.startswith("ff:")
+                   for label in report.region_seeds.values())
+        assert any(label.startswith("input:")
+                   for label in report.region_seeds.values())
+
+    def test_undomained_nets_never_leak(self, tiny_tmr_suite):
+        for result in tiny_tmr_suite.values():
+            definition = result.definition
+            report = compute_voter_regions(definition)
+            for net_name in report.net_regions:
+                net = definition.nets[net_name]
+                assert net.properties.get("domain") == 0, net_name
+            assert sum(report.region_sizes.values()) == \
+                len(report.net_regions)
+
+    def test_every_region_has_a_seed_label(self, tiny_tmr_suite):
+        report = compute_voter_regions(tiny_tmr_suite["p2"].definition)
+        assert set(report.region_seeds) == set(report.region_sizes)
+
+    def test_regions_are_domain_symmetric(self, tiny_tmr_suite):
+        """The three domains are structurally identical, so the region
+        decomposition (count and size multiset) must match per domain."""
+        definition = tiny_tmr_suite["p2"].definition
+        reports = [compute_voter_regions(definition, domain)
+                   for domain in range(3)]
+        sizes = [sorted(report.region_sizes.values()) for report in reports]
+        assert sizes[0] == sizes[1] == sizes[2]
+
+
+class TestCriticalPathVoterDepth:
+    def test_monotone_across_partitions(self, tiny_tmr_suite):
+        levels = {name: _estimate_extra_levels(result)
+                  for name, result in tiny_tmr_suite.items()}
+        assert levels["p1"] >= levels["p2"] >= levels["p3"] \
+            >= levels["p3_nv"] >= 1
+        # The maximum partition stacks strictly more voters on the
+        # critical path than the minimum one.
+        assert levels["p1"] > levels["p3_nv"]
+
+    def test_minimum_partition_counts_only_output_voter(self,
+                                                        tiny_tmr_suite):
+        # No intermediate voters and no voted registers: the only voter
+        # level on any path is the final output voter.
+        assert _estimate_extra_levels(tiny_tmr_suite["p3_nv"]) == 1
+
+    def test_sweep_reports_path_depth_not_block_count(self, tiny_fir):
+        from repro.core import sweep_partitions
+
+        netlist, _spec, top, _components = tiny_fir
+        sweep = sweep_partitions(netlist, top)
+        by_name = {candidate.strategy.describe(): candidate
+                   for candidate in sweep.candidates}
+        assert by_name["max"].extra_logic_levels >= \
+            by_name["min"].extra_logic_levels >= 1
+
+
+class TestLayoutAnalyzer:
+    def test_map_covers_the_fault_list(self, tiny_tmr_implementation,
+                                       tmr_defeat_map):
+        fault_list = FaultListManager(tiny_tmr_implementation).build()
+        assert len(tmr_defeat_map) == len(set(fault_list.bits))
+        counts = tmr_defeat_map.counts()
+        assert sum(counts.values()) == len(tmr_defeat_map)
+        assert counts[SILENT] > 0 and counts[DEFEAT] > 0
+
+    def test_unprotected_design_has_no_correctable_bits(
+            self, standard_defeat_map):
+        # Without voters nothing can be out-voted: every effectful,
+        # observable upset of the unprotected filter is defeat-capable.
+        counts = standard_defeat_map.counts()
+        assert counts[CORRECTABLE] == 0
+        assert counts[DEFEAT] > 0
+
+    def test_silent_bits_simulate_silent(self, tiny_tmr_implementation,
+                                         tmr_defeat_map):
+        """Soundness of the prefilter: bits predicted silent must produce
+        wrong_answers == 0 under the serial backend.  Every effectful
+        silent bit (the ones that would actually be simulated) is
+        checked, plus a deterministic sample of the no-effect ones."""
+        silent = tmr_defeat_map.silent_bits()
+        effectful = [bit for bit in sorted(silent)
+                     if tmr_defeat_map.predictions[bit].has_effect][:200]
+        sampled = random.Random(7).sample(
+            sorted(silent), min(100, len(silent)))
+        bits = sorted(set(effectful) | set(sampled))
+        config = CampaignConfig(workload_cycles=8)
+        result = run_campaign(tiny_tmr_implementation, config,
+                              fault_bits=bits, backend="serial")
+        assert result.wrong_answers == 0
+        assert all(entry.first_mismatch_cycle is None
+                   for entry in result.results)
+
+    def test_defeat_capable_covers_measured_wrong_bits(
+            self, tiny_tmr_implementation, tmr_defeat_map):
+        config = CampaignConfig(num_faults=250, workload_cycles=8)
+        result = run_campaign(tiny_tmr_implementation, config,
+                              backend="vector")
+        wrong_bits = {entry.bit for entry in result.results
+                      if entry.wrong_answer}
+        assert wrong_bits, "campaign found no wrong answers to validate"
+        assert wrong_bits <= tmr_defeat_map.defeat_capable_bits()
+        validation = prediction_vs_campaign(tmr_defeat_map, result.results)
+        assert validation["superset_holds"]
+        assert validation["silent_sound"]
+
+    def test_unprotected_wrong_bits_are_covered_too(
+            self, tiny_fir_implementation, standard_defeat_map):
+        config = CampaignConfig(num_faults=200, workload_cycles=8)
+        result = run_campaign(tiny_fir_implementation, config,
+                              backend="vector")
+        wrong_bits = {entry.bit for entry in result.results
+                      if entry.wrong_answer}
+        assert wrong_bits
+        assert wrong_bits <= standard_defeat_map.defeat_capable_bits()
+
+    def test_cross_domain_bits_span_two_domains(self, tmr_defeat_map):
+        crossing = tmr_defeat_map.cross_domain_bits()
+        assert crossing
+        for bit in crossing[:50]:
+            assert len(tmr_defeat_map.predictions[bit].domains) >= 2
+        assert 0.0 <= tmr_defeat_map.defeat_probability() <= 1.0
+
+    def test_layout_robustness_replaces_uniform_proxy(
+            self, tiny_tmr_implementation, tmr_defeat_map):
+        layout_estimate = estimate_robustness(
+            tiny_tmr_implementation.design,
+            implementation=tiny_tmr_implementation)
+        # Passing a definition the implementation does not implement is
+        # rejected instead of silently analyzed.
+        from repro.netlist import Netlist
+
+        other = Netlist("other").get_library("work").add_definition("other")
+        with pytest.raises(ValueError, match="implements"):
+            estimate_robustness(other,
+                                implementation=tiny_tmr_implementation)
+        direct = layout_robustness(tiny_tmr_implementation,
+                                   defeat_map=tmr_defeat_map)
+        assert layout_estimate.cross_domain_defeat_probability == \
+            pytest.approx(tmr_defeat_map.defeat_probability())
+        assert direct.num_regions >= 3
+        assert direct.voter_count > 0
+
+    def test_map_is_memoized_per_implementation(self,
+                                                tiny_tmr_implementation,
+                                                tmr_defeat_map):
+        again = defeat_map_for(tiny_tmr_implementation)
+        assert again is tmr_defeat_map
+
+
+class TestStaticPrefilter:
+    @pytest.fixture(scope="class")
+    def reference(self, tiny_tmr_implementation):
+        config = CampaignConfig(num_faults=220, workload_cycles=8)
+        return run_campaign(tiny_tmr_implementation, config,
+                            backend="serial")
+
+    @pytest.mark.parametrize("backend", [
+        "serial", "batch", "vector",
+        pytest.param(ProcessPoolBackend(processes=2), id="process"),
+    ])
+    def test_verdict_identical_across_backends(self, backend, reference,
+                                               tiny_tmr_implementation):
+        config = CampaignConfig(num_faults=220, workload_cycles=8,
+                                prefilter="static")
+        result = run_campaign(tiny_tmr_implementation, config,
+                              backend=backend)
+        assert result.results == reference.results
+        assert result.wrong_answers == reference.wrong_answers
+        assert result.effect_table() == reference.effect_table()
+        assert {name: (count.injected, count.wrong)
+                for name, count in result.by_category.items()} == \
+            {name: (count.injected, count.wrong)
+             for name, count in reference.by_category.items()}
+        assert result.skipped_silent > 0
+        assert result.simulated == result.injected - result.skipped_silent
+        assert result.prefilter == "static"
+
+    @pytest.mark.parametrize("upset_model", ["mbu:2", "accumulate:3"])
+    def test_verdict_identical_under_multibit_models(
+            self, upset_model, tiny_tmr_implementation):
+        base = CampaignConfig(num_faults=150, workload_cycles=8,
+                              upset_model=upset_model)
+        filtered = CampaignConfig(num_faults=150, workload_cycles=8,
+                                  upset_model=upset_model,
+                                  prefilter="static")
+        reference = run_campaign(tiny_tmr_implementation, base,
+                                 backend="vector")
+        result = run_campaign(tiny_tmr_implementation, filtered,
+                              backend="vector")
+        assert result.results == reference.results
+        assert result.effect_table() == reference.effect_table()
+
+    def test_unknown_prefilter_rejected(self, tiny_tmr_implementation):
+        config = CampaignConfig(num_faults=5, prefilter="psychic")
+        with pytest.raises(ValueError, match="prefilter"):
+            run_campaign(tiny_tmr_implementation, config)
+
+
+class TestScenarioSurface:
+    def test_new_scenarios_registered(self):
+        from repro.scenarios import SCENARIOS
+
+        assert "defeat-map-fir" in SCENARIOS
+        assert "prediction-vs-campaign" in SCENARIOS
+        scenario = SCENARIOS["prediction-vs-campaign"]
+        # The validation campaign must be independent of the prediction
+        # it validates, so it runs unprefiltered.
+        assert scenario.prefilter == "none"
+        assert "prediction_vs_campaign" in scenario.analyses
+
+    def test_bad_prefilter_fails_fast(self):
+        import dataclasses
+
+        from repro.scenarios import SCENARIOS, run_scenario
+
+        broken = dataclasses.replace(SCENARIOS["table3-fir"],
+                                     prefilter="psychic")
+        with pytest.raises(ValueError, match="prefilter"):
+            run_scenario(broken)
+
+    def test_analyses_registered(self):
+        from repro.pipeline import ANALYSES
+
+        assert "defeat_map" in ANALYSES
+        assert "prediction_vs_campaign" in ANALYSES
