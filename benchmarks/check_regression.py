@@ -5,7 +5,12 @@ committed at the repository root and fails (exit code 1) when a
 normalized speedup regresses by more than the tolerance:
 
 * ``BENCH_campaign.json`` — the best campaign backend's
-  ``speedup_vs_seed_serial`` per design;
+  ``speedup_vs_seed_serial`` per design, plus — when the numpy backend
+  was measured — its saturated-draw throughput speedup per design
+  (ratio-compared against the baseline) and two *absolute* floors: the
+  best design's saturated speedup must clear ``--numpy-min-speedup``
+  (default 60x) and every numpy row's mean lane utilization must clear
+  ``--numpy-utilization-floor`` (default 0.6);
 * ``BENCH_flow.json`` (optional, via ``--flow-baseline/--flow-current``)
   — the implementation flow's total ``cold_speedup_vs_seed`` and
   ``warm_speedup_vs_seed``;
@@ -53,6 +58,37 @@ def best_speedups(payload: dict) -> dict:
     return result
 
 
+def numpy_saturated_speedups(payload: dict) -> dict:
+    """{design: numpy saturated-draw throughput speedup}.
+
+    Empty for reports written before the numpy backend existed (or
+    measured on a machine without numpy), which keeps the ratio
+    comparison a no-op against old baselines.
+    """
+    result = {}
+    for design, row in payload.get("designs", {}).items():
+        saturated = row.get("numpy_saturated", {})
+        if "speedup_vs_seed_serial_throughput" in saturated:
+            result[design] = saturated["speedup_vs_seed_serial_throughput"]
+    return result
+
+
+def numpy_utilizations(payload: dict) -> dict:
+    """{design: lowest mean lane utilization over the numpy rows}."""
+    result = {}
+    for design, row in payload.get("designs", {}).items():
+        values = []
+        numpy_row = row.get("backends", {}).get("numpy", {})
+        if "mean_lane_utilization" in numpy_row:
+            values.append(numpy_row["mean_lane_utilization"])
+        saturated = row.get("numpy_saturated", {})
+        if "mean_lane_utilization" in saturated:
+            values.append(saturated["mean_lane_utilization"])
+        if values:
+            result[design] = min(values)
+    return result
+
+
 def flow_speedups(payload: dict) -> dict:
     """{metric: total flow speedup vs the seed replica}."""
     totals = payload.get("totals", {})
@@ -68,6 +104,17 @@ def predict_reductions(payload: dict) -> dict:
     return {design: row["simulated_reduction"]
             for design, row in payload.get("designs", {}).items()
             if "simulated_reduction" in row}
+
+
+def predict_map_speedups(payload: dict) -> dict:
+    """{design: cold speedup with the defeat-map build charged in}.
+
+    Empty for reports written before the amortized accounting existed,
+    so old baselines stay comparable.
+    """
+    return {design: row["speedup_with_map"]
+            for design, row in payload.get("designs", {}).items()
+            if "speedup_with_map" in row}
 
 
 def _compare(label: str, baseline: dict, current: dict,
@@ -88,10 +135,40 @@ def _compare(label: str, baseline: dict, current: dict,
     return problems
 
 
-def check(baseline: dict, current: dict, tolerance: float) -> list:
+def check(baseline: dict, current: dict, tolerance: float,
+          numpy_min_speedup: float = 60.0,
+          numpy_utilization_floor: float = 0.6) -> list:
     """Campaign regression messages (empty when the run is acceptable)."""
-    return _compare("campaign", best_speedups(baseline),
-                    best_speedups(current), tolerance)
+    problems = _compare("campaign", best_speedups(baseline),
+                        best_speedups(current), tolerance)
+    # The saturated throughput only ratio-compares at equal draw sizes:
+    # a CI run with a capped REPRO_BENCH_NUMPY_FAULTS measures a smaller
+    # draw than the committed baseline, where only the absolute floors
+    # below apply.
+    base_draws = {design: row.get("numpy_saturated", {}).get("num_faults")
+                  for design, row in baseline.get("designs", {}).items()}
+    cur_draws = {design: row.get("numpy_saturated", {}).get("num_faults")
+                 for design, row in current.get("designs", {}).items()}
+    comparable = {design: speedup for design, speedup
+                  in numpy_saturated_speedups(baseline).items()
+                  if base_draws.get(design) == cur_draws.get(design)}
+    problems.extend(_compare("campaign numpy-saturated", comparable,
+                             numpy_saturated_speedups(current), tolerance))
+    # Absolute floors on the current report (skipped entirely when the
+    # numpy backend was not measured, e.g. numpy-less environments).
+    saturated = numpy_saturated_speedups(current)
+    if saturated and max(saturated.values()) < numpy_min_speedup:
+        problems.append(
+            f"campaign numpy-saturated: best throughput speedup "
+            f"{max(saturated.values()):.2f}x fell below the "
+            f"{numpy_min_speedup:.0f}x acceptance floor")
+    for design, utilization in sorted(numpy_utilizations(current).items()):
+        if utilization < numpy_utilization_floor:
+            problems.append(
+                f"campaign numpy {design}: mean lane utilization "
+                f"{utilization:.3f} fell below the "
+                f"{numpy_utilization_floor:.2f} floor")
+    return problems
 
 
 def check_flow(baseline: dict, current: dict, tolerance: float) -> list:
@@ -102,8 +179,12 @@ def check_flow(baseline: dict, current: dict, tolerance: float) -> list:
 
 def check_predict(baseline: dict, current: dict, tolerance: float) -> list:
     """Prefilter regression messages (empty when the run is acceptable)."""
-    return _compare("prefilter", predict_reductions(baseline),
-                    predict_reductions(current), tolerance)
+    problems = _compare("prefilter", predict_reductions(baseline),
+                        predict_reductions(current), tolerance)
+    problems.extend(_compare("prefilter with-map",
+                             predict_map_speedups(baseline),
+                             predict_map_speedups(current), tolerance))
+    return problems
 
 
 def _pipeline_runs(report: dict):
@@ -176,6 +257,14 @@ def main(argv=None) -> int:
     parser.add_argument("--tolerance", type=float, default=0.30,
                         help="allowed fractional drop of the best "
                         "speedup (default 0.30)")
+    parser.add_argument("--numpy-min-speedup", type=float, default=60.0,
+                        help="absolute floor for the numpy backend's best "
+                             "saturated-draw throughput speedup (default "
+                             "60; relax on slow shared runners)")
+    parser.add_argument("--numpy-utilization-floor", type=float,
+                        default=0.6,
+                        help="absolute floor for the numpy backend's mean "
+                             "lane utilization per design (default 0.6)")
     arguments = parser.parse_args(argv)
     if arguments.baseline is None and arguments.flow_baseline is None \
             and arguments.predict_baseline is None \
@@ -198,12 +287,25 @@ def main(argv=None) -> int:
     if arguments.baseline is not None:
         baseline = json.loads(arguments.baseline.read_text())
         current = json.loads(arguments.current.read_text())
-        problems.extend(check(baseline, current, arguments.tolerance))
+        problems.extend(check(
+            baseline, current, arguments.tolerance,
+            numpy_min_speedup=arguments.numpy_min_speedup,
+            numpy_utilization_floor=arguments.numpy_utilization_floor))
 
         for design, reference in sorted(best_speedups(baseline).items()):
             measured = best_speedups(current).get(design)
             shown = f"{measured:.2f}x" if measured is not None else "missing"
             print(f"{design}: baseline {reference:.2f}x -> current {shown}")
+        measured_saturated = numpy_saturated_speedups(current)
+        for design, reference in sorted(
+                numpy_saturated_speedups(baseline).items()):
+            measured = measured_saturated.get(design)
+            shown = f"{measured:.2f}x" if measured is not None else "missing"
+            print(f"numpy saturated {design}: baseline {reference:.2f}x "
+                  f"-> current {shown}")
+        for design, utilization in sorted(
+                numpy_utilizations(current).items()):
+            print(f"numpy lane utilization {design}: {utilization:.3f}")
 
     if arguments.flow_baseline is not None and \
             arguments.flow_current is not None:

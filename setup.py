@@ -16,7 +16,10 @@ setup(
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.10",
-    install_requires=["numpy", "networkx"],
+    install_requires=["networkx"],
+    # numpy is optional: it only powers the vectorized fault-simulation
+    # backend (--backend numpy).  Every other backend is pure python.
+    extras_require={"fast": ["numpy"]},
     entry_points={
         "console_scripts": [
             "repro = repro.__main__:main",

@@ -101,8 +101,9 @@ def campaign_tradeoff(implementations: Mapping[str, Implementation],
 
     One-call form of :func:`tradeoff_curve` for callers that have the
     implemented versions but no campaign results yet; *backend* selects the
-    campaign execution backend (``"serial"``, ``"batch"``, ``"process"``
-    or the bit-parallel ``"vector"``), and repeated calls reuse the
+    campaign execution backend (``"serial"``, ``"batch"``, ``"process"``,
+    the bit-parallel ``"vector"`` or the numpy-compiled ``"numpy"``),
+    and repeated calls reuse the
     golden-trace / fault-effect cache.
     """
     campaigns = run_campaigns(dict(implementations), config,

@@ -110,6 +110,14 @@ SCALES: Dict[str, Scale] = {
     "smoke": Scale("smoke", taps=4, data_width=5,
                    standard_device="XC2S15E", tmr_device="XC2S50E",
                    campaign_faults=400, workload_cycles=10),
+    # Monte-Carlo scale: the smoke designs with a 10^6-injection draw.
+    # The draw exceeds the programmable-bit population, so it covers
+    # every bit once plus a reproducible with-replacement tail; duplicate
+    # injections collapse onto shared lanes in the batched backends, which
+    # is what makes a million injections tractable (numpy backend).
+    "huge": Scale("huge", taps=4, data_width=5,
+                  standard_device="XC2S15E", tmr_device="XC2S50E",
+                  campaign_faults=1_000_000, workload_cycles=10),
     # Minimal configuration for unit tests and pipeline smoke matrices:
     # seconds per design end to end.
     "tiny": Scale("tiny", taps=3, data_width=4,

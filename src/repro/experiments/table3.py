@@ -57,7 +57,8 @@ def run_table3(suite: Optional[DesignSuite] = None,
     """Run the Table 3 campaigns and return one result per design.
 
     *backend* selects the campaign execution backend (``"serial"``,
-    ``"batch"``, ``"process"`` or the bit-parallel ``"vector"``); every
+    ``"batch"``, ``"process"``, the bit-parallel ``"vector"`` or the
+    numpy-compiled ``"numpy"``); every
     backend yields identical results.  *upset_model* selects how many bits
     one injection flips (``"single"``, ``"mbu[:k]"``, ``"accumulate[:k]"``
     — see :mod:`repro.faults.upsets`).  *prefilter* (``"static"``) lets

@@ -28,7 +28,8 @@ def run_table4(results: Optional[Dict[str, CampaignResult]] = None,
     """Return the per-design effect breakdown of error-causing upsets.
 
     *backend* selects the campaign execution backend (``"serial"``,
-    ``"batch"``, ``"process"`` or the bit-parallel ``"vector"``).
+    ``"batch"``, ``"process"``, the bit-parallel ``"vector"`` or the
+    numpy-compiled ``"numpy"``).
     """
     if results is None:
         results = run_table3(suite=suite, implementations=implementations,

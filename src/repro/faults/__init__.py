@@ -7,11 +7,11 @@ from .cache import (CampaignCache, CampaignCacheEntry, cache_stats,
 from .campaign import (PREFILTER_CHOICES, CampaignConfig, CampaignResult,
                        CategoryCount, default_stimulus, run_campaign,
                        run_campaigns)
-from .engine import (BACKEND_CHOICES, BACKENDS, BatchBackend,
-                     CampaignContext, ExecutionBackend, FaultTask,
-                     FaultVerdict, ProcessPoolBackend, ProgressCallback,
-                     SerialBackend, VectorBackend, program_signature,
-                     resolve_backend)
+from .engine import (BACKEND_CHOICES, BACKENDS, BackendUnavailableError,
+                     BatchBackend, CampaignContext, ExecutionBackend,
+                     FaultTask, FaultVerdict, NumpyBackend,
+                     ProcessPoolBackend, ProgressCallback, SerialBackend,
+                     VectorBackend, program_signature, resolve_backend)
 from .fault_list import FAULT_LIST_MODES, FaultList, FaultListManager
 from .injector import FaultInjectionManager, FaultResult
 from .models import FaultEffect, FaultModeler
@@ -29,11 +29,11 @@ __all__ = [
     "FaultEffect", "FaultModeler", "campaign_details", "format_table",
     "table3_report", "table4_report",
     # execution engine
-    "BACKEND_CHOICES", "BACKENDS", "BatchBackend", "CampaignContext",
-    "ExecutionBackend",
-    "FaultTask", "FaultVerdict", "ProcessPoolBackend", "ProgressCallback",
-    "SerialBackend", "VectorBackend", "program_signature",
-    "resolve_backend",
+    "BACKEND_CHOICES", "BACKENDS", "BackendUnavailableError",
+    "BatchBackend", "CampaignContext", "ExecutionBackend",
+    "FaultTask", "FaultVerdict", "NumpyBackend", "ProcessPoolBackend",
+    "ProgressCallback", "SerialBackend", "VectorBackend",
+    "program_signature", "resolve_backend",
     # cache layer
     "CampaignCache", "CampaignCacheEntry", "cache_stats", "clear_cache",
     "configure_cache", "get_cache", "implementation_fingerprint",

@@ -11,6 +11,8 @@ memoizes it behind an implementation *fingerprint*:
 * the golden traces per stimulus (with the overlay-free gate program),
 * the compiled bit-parallel lane program
   (:class:`~repro.sim.bitparallel.VectorProgram`),
+* its numpy-compiled wrapper with accumulated shard plans
+  (:class:`~repro.sim.npkernel.NumpyProgram`),
 * the modelled :class:`~repro.faults.models.FaultEffect` per bit,
 * the fault cones per seed-net set.
 
@@ -57,6 +59,8 @@ class CacheStats:
     golden_misses: int = 0
     vector_program_hits: int = 0
     vector_program_misses: int = 0
+    numpy_program_hits: int = 0
+    numpy_program_misses: int = 0
     effect_hits: int = 0
     effect_misses: int = 0
     fault_list_hits: int = 0
@@ -107,6 +111,7 @@ class CampaignCacheEntry:
         self._implementation = weakref.ref(implementation)
         self._compiled: Optional[CompiledDesign] = None
         self._vector_program: Optional[VectorProgram] = None
+        self._numpy_program = None
         self._fault_lists: Dict[str, "FaultList"] = {}
         #: stimulus key -> (golden trace, overlay-free gate program);
         #: LRU-bounded, the traces dominate the cache's memory
@@ -134,6 +139,7 @@ class CampaignCacheEntry:
                     self._effects.clear()
                     self._defeat_maps.clear()
                     self._vector_program = None
+                    self._numpy_program = None
                 self._compiled = compiled
             return compiled
         if self._compiled is None:
@@ -157,6 +163,25 @@ class CampaignCacheEntry:
         else:
             stats.vector_program_hits += 1
         return self._vector_program
+
+    def numpy_program(self, compiled: CompiledDesign, stats: CacheStats):
+        """The memoized numpy-compiled lane program (plans and all).
+
+        Wraps :meth:`vector_program`, so the two memos share one compiled
+        entry list; the wrapper additionally accumulates shard plans and
+        broadcast artefacts across campaigns (see
+        :class:`repro.sim.npkernel.NumpyProgram`).
+        """
+        from ..sim.npkernel import compile_numpy_program
+
+        if self._numpy_program is None or \
+                self._numpy_program.design is not compiled:
+            stats.numpy_program_misses += 1
+            self._numpy_program = compile_numpy_program(
+                self.vector_program(compiled, stats))
+        else:
+            stats.numpy_program_hits += 1
+        return self._numpy_program
 
     def fault_list(self, mode: str, stats: CacheStats) -> "FaultList":
         if mode not in self._fault_lists:

@@ -24,7 +24,11 @@ picklable units and executes them behind interchangeable backends:
     and streams verdicts back;
   - :class:`VectorBackend` — packs whole fault shards into the bit lanes of
     Python big integers and simulates them in one PPSFP-style sweep
-    through the :mod:`repro.sim.bitparallel` kernel.
+    through the :mod:`repro.sim.bitparallel` kernel;
+  - :class:`NumpyBackend` — compiles the lane program into vectorized
+    numpy sweeps (:mod:`repro.sim.npkernel`) and packs lanes *across*
+    cones under one union cone, so shards run near-full instead of
+    fragmenting per fault group (requires the optional numpy dependency).
 
 Every backend must produce bit-identical campaign aggregates for the same
 sampled fault list — the equivalence is enforced by the test suite.
@@ -34,10 +38,12 @@ from __future__ import annotations
 
 import abc
 import dataclasses
+import logging
 import os
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..pnr.flow import Implementation
+from ..sim import npkernel
 from ..sim.bitparallel import (VectorProgram, broadcast_inputs,
                                broadcast_trace, compile_vector_program,
                                simulate_lanes)
@@ -53,6 +59,17 @@ ProgressCallback = Callable[[int, int], None]
 
 #: How often (in completed faults) the progress callback fires.
 PROGRESS_INTERVAL = 250
+
+LOGGER = logging.getLogger(__name__)
+
+
+class BackendUnavailableError(RuntimeError):
+    """A requested execution backend cannot run in this environment.
+
+    Raised with an install hint when an optional dependency (numpy for
+    ``--backend numpy``) is missing, so callers can distinguish "not
+    installed here" from "no such backend".
+    """
 
 
 @dataclasses.dataclass(frozen=True)
@@ -72,7 +89,7 @@ class FaultTask:
     bits: Tuple[int, ...] = ()
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class FaultVerdict:
     """The classified outcome of one evaluated fault task."""
 
@@ -143,6 +160,7 @@ class CampaignContext:
         self._golden: Optional[SimulationTrace] = None
         self._base_program = None
         self._vector_program: Optional[VectorProgram] = None
+        self._numpy_program: Optional["npkernel.NumpyProgram"] = None
         self._local_cones: Dict[Tuple[int, ...], FaultCone] = {}
 
     # ------------------------------------------------------------------
@@ -206,6 +224,18 @@ class CampaignContext:
                 self._vector_program = compile_vector_program(self.compiled)
         return self._vector_program
 
+    @property
+    def numpy_program(self) -> "npkernel.NumpyProgram":
+        """The numpy-compiled lane program (plans memoized per campaign)."""
+        if self._numpy_program is None:
+            if self.cache_entry is not None:
+                self._numpy_program = self.cache_entry.numpy_program(
+                    self.compiled, self.stats)
+            else:
+                self._numpy_program = npkernel.compile_numpy_program(
+                    self.vector_program)
+        return self._numpy_program
+
     # ------------------------------------------------------------------
     def effect_of_bit(self, bit: int) -> FaultEffect:
         if self.cache_entry is not None:
@@ -231,15 +261,25 @@ class CampaignContext:
         """
         from .upsets import merged_effect
 
+        # Samples beyond the population size repeat bits; memoizing the
+        # effect lookup locally keeps huge-scale task modelling linear in
+        # the number of *distinct* bits.
+        effects: Dict[int, FaultEffect] = {}
+
+        def effect_of(bit: int) -> FaultEffect:
+            effect = effects.get(bit)
+            if effect is None:
+                effect = effects[bit] = self.effect_of_bit(bit)
+            return effect
+
         tasks: List[FaultTask] = []
         for index, group in enumerate(groups):
             bits = tuple(group)
             if len(bits) == 1:
-                tasks.append(FaultTask(index, bits[0],
-                                       self.effect_of_bit(bits[0])))
+                tasks.append(FaultTask(index, bits[0], effect_of(bits[0])))
             else:
                 effect = merged_effect(
-                    bits, [self.effect_of_bit(bit) for bit in bits],
+                    bits, [effect_of(bit) for bit in bits],
                     self.compiled)
                 tasks.append(FaultTask(index, bits[0], effect, bits=bits))
         return tasks
@@ -499,6 +539,165 @@ class VectorBackend(ExecutionBackend):
         return [verdict for verdict in verdicts if verdict is not None]
 
 
+class NumpyBackend(ExecutionBackend):
+    """Numpy-compiled PPSFP sweeps with cross-cone lane packing.
+
+    Three things distinguish this from :class:`VectorBackend`:
+
+    * shards evaluate through :mod:`repro.sim.npkernel` — the lane
+      program compiled into fused array operations instead of a Python
+      loop interpreting one entry per gate;
+    * identical injections are evaluated **once**: tasks are deduplicated
+      by their flipped-bit cluster, one representative lane simulates,
+      and every duplicate receives a re-indexed copy of its verdict (a
+      10^6-injection campaign over a ~10^4-bit fault list collapses to
+      the unique-bit population);
+    * lanes pack **across** cones: effectful faults are only split by
+      whether they have a cone at all, sorted by seed nets so
+      neighbouring lanes share fan-out, and each shard simulates the
+      union cone at the maximum pass count of its members.  Simulating a
+      lane under a superset cone (or extra settle passes) cannot change
+      its outcome — nets outside a lane's own cone carry golden values —
+      so packing trades no accuracy for near-full lanes.
+
+    Verdicts are bit-identical to :class:`SerialBackend` (enforced by the
+    test suite).  Requires the optional numpy dependency; constructing
+    the backend without it raises :class:`BackendUnavailableError`.
+
+    ``last_run_stats`` reports shard sizes and lane utilization (lanes
+    over word-quantized capacity, i.e. ``ceil(lanes/64)*64``) of the most
+    recent :meth:`run` for the benchmark harness.
+    """
+
+    name = "numpy"
+
+    def __init__(self, lane_width: int = 1024) -> None:
+        if not npkernel.have_numpy():
+            raise BackendUnavailableError(
+                "the numpy campaign backend needs the optional numpy "
+                f"dependency ({npkernel.NUMPY_INSTALL_HINT}); "
+                "or pick --backend vector")
+        if lane_width < 1:
+            raise ValueError("lane_width must be at least 1")
+        self.lane_width = lane_width
+        self.last_run_stats: Dict[str, object] = {}
+
+    def run(self, context: CampaignContext, tasks: Sequence[FaultTask],
+            progress: Optional[ProgressCallback] = None
+            ) -> List[FaultVerdict]:
+        context.prepare()
+        program = context.numpy_program
+        total = len(tasks)
+        done = 0
+        verdicts: List[Optional[FaultVerdict]] = [None] * total
+
+        # Injections flipping the same bit cluster are the same physical
+        # fault; evaluate one representative per cluster.
+        unique: Dict[Tuple[int, ...], List[FaultTask]] = {}
+        for task in tasks:
+            unique.setdefault(task.bits or (task.bit,), []).append(task)
+
+        def settle(rep_verdict: FaultVerdict,
+                   bucket: List[FaultTask]) -> None:
+            nonlocal done
+            r = rep_verdict
+            for task in bucket:
+                verdicts[task.index] = r if task.index == r.index \
+                    else FaultVerdict(
+                        index=task.index, bit=r.bit,
+                        resource_kind=r.resource_kind, category=r.category,
+                        has_effect=r.has_effect, wrong_answer=r.wrong_answer,
+                        first_mismatch_cycle=r.first_mismatch_cycle,
+                        detail=r.detail)
+                done += 1
+                self._tick(progress, done, total)
+
+        # Members are decorated (passes, seeds, key, rep) so the sort and
+        # the per-shard pass maximum reuse one required_passes() call per
+        # overlay; `key` is unique, so `rep` never gets compared.
+        groups: Dict[bool, List[Tuple[int, Tuple[int, ...],
+                                      Tuple[int, ...], FaultTask]]] = {}
+        for key, bucket in unique.items():
+            rep = bucket[0]
+            if not rep.effect.has_effect:
+                settle(context.evaluate(rep), bucket)
+                continue
+            overlay = rep.effect.overlay
+            coned = bool(overlay.seed_nets)
+            groups.setdefault(coned, []).append(
+                (overlay.required_passes(), tuple(sorted(overlay.seed_nets)),
+                 key, rep))
+
+        shard_stats: List[Dict[str, object]] = []
+        packed = 0
+        capacity_total = 0
+        for coned in sorted(groups):
+            members = groups[coned]
+            # A shard settles every lane with the worst member's pass
+            # count, so lanes pack in pass-count order first — chunks
+            # stay (mostly) pass-homogeneous without fragmenting shards.
+            # The seed-net sort below it keeps neighbouring lanes in
+            # overlapping fan-out, which keeps union cones tight.
+            members.sort()
+            for start in range(0, len(members), self.lane_width):
+                shard = members[start:start + self.lane_width]
+                overlays = [rep.effect.overlay
+                            for _p, _s, _key, rep in shard]
+                passes = shard[-1][0]
+                cone = None
+                if coned:
+                    seeds = sorted({net for overlay in overlays
+                                    for net in overlay.seed_nets})
+                    cone = context.cone_for_nets(seeds)
+                plan_key = ((id(cone) if cone is not None else None,)
+                            + tuple(key for _p, _s, key, _rep in shard))
+                result = program.simulate_shard(
+                    overlays, context.stimulus, context.golden,
+                    passes=passes, skip_cycles=context.skip_cycles,
+                    ports=context.output_ports, cone=cone,
+                    plan_key=plan_key)
+                for (_p, _s, key, rep), outcome in zip(shard,
+                                                       result.outcomes):
+                    effect = rep.effect
+                    settle(FaultVerdict(
+                        index=rep.index,
+                        bit=rep.bit,
+                        resource_kind=effect.resource[0],
+                        category=effect.category,
+                        has_effect=True,
+                        wrong_answer=outcome.wrong_answer,
+                        first_mismatch_cycle=outcome.first_mismatch_cycle,
+                        detail=effect.detail,
+                    ), unique[key])
+                lanes = len(shard)
+                capacity = ((lanes + 63) // 64) * 64
+                packed += lanes
+                capacity_total += capacity
+                shard_stats.append({
+                    "lanes": lanes,
+                    "capacity": capacity,
+                    "passes": passes,
+                    "coned": coned,
+                    "cone_gates": len(cone.gate_indices)
+                    if cone is not None
+                    else len(program.program.entries),
+                    "cycles_simulated": result.cycles_simulated,
+                })
+        self.last_run_stats = {
+            "lane_width": self.lane_width,
+            "shards": shard_stats,
+            "packed_faults": packed,
+            "unique_faults": len(unique),
+            "demuxed_faults": total,
+            "peak_lane_utilization": max(
+                (stat["lanes"] / stat["capacity"]
+                 for stat in shard_stats), default=0.0),
+            "mean_lane_utilization": (packed / capacity_total)
+            if capacity_total else 0.0,
+        }
+        return [verdict for verdict in verdicts if verdict is not None]
+
+
 # ----------------------------------------------------------------------
 # Process-pool backend.  Workers are primed through a fork-inherited (or,
 # under spawn, pickled) context; already-modelled tasks travel in shards
@@ -527,14 +726,23 @@ class ProcessPoolBackend(ExecutionBackend):
     streams verdicts back.  Verdict order — and therefore every campaign
     aggregate — is independent of the scheduling, so results are
     bit-identical to the serial backend.
+
+    Small campaigns fall back to the serial path: BENCH_campaign.json
+    shows the pool *losing* to serial at smoke scale (1.41x vs 2.33x at
+    400 faults) because pool spin-up and context pickling dominate, while
+    paper-scale campaigns (6000 faults) amortize them.  ``min_tasks``
+    (default 1000, between those two measured points) is the cut-over;
+    pass 0 to force the pool.
     """
 
     name = "process"
 
     def __init__(self, processes: Optional[int] = None,
-                 shard_size: Optional[int] = None) -> None:
+                 shard_size: Optional[int] = None,
+                 min_tasks: int = 1000) -> None:
         self.processes = processes
         self.shard_size = shard_size
+        self.min_tasks = min_tasks
 
     def _process_count(self, num_tasks: int) -> int:
         if self.processes is not None:
@@ -547,7 +755,13 @@ class ProcessPoolBackend(ExecutionBackend):
         import multiprocessing
 
         processes = self._process_count(len(tasks))
-        if not tasks or processes == 1:
+        if not tasks or processes == 1 or len(tasks) < self.min_tasks:
+            if tasks and processes > 1:
+                LOGGER.info(
+                    "process backend: %d tasks is below the %d-task "
+                    "cut-over where pool spin-up stops paying for "
+                    "itself; evaluating serially",
+                    len(tasks), self.min_tasks)
             # Degrading to the serial path must be visible in reports
             # (benchmarks attribute faults/sec to the backend name).
             self.name = "process:serial-fallback"
@@ -593,17 +807,21 @@ BACKENDS = {
     BatchBackend.name: BatchBackend,
     ProcessPoolBackend.name: ProcessPoolBackend,
     VectorBackend.name: VectorBackend,
+    NumpyBackend.name: NumpyBackend,
     # convenience aliases
     "processpool": ProcessPoolBackend,
     "pool": ProcessPoolBackend,
     "bitparallel": VectorBackend,
     "ppsfp": VectorBackend,
+    "np": NumpyBackend,
+    "compiled": NumpyBackend,
 }
 
 #: The documented backend names, for CLI ``choices=`` (the registry also
 #: accepts aliases, but they are not part of the public surface).
 BACKEND_CHOICES = (SerialBackend.name, BatchBackend.name,
-                   ProcessPoolBackend.name, VectorBackend.name)
+                   ProcessPoolBackend.name, VectorBackend.name,
+                   NumpyBackend.name)
 
 BackendLike = Union[None, str, ExecutionBackend]
 

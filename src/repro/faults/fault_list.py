@@ -48,11 +48,22 @@ class FaultList:
         return len(self.bits)
 
     def sample(self, count: int, seed: int = 2005) -> List[int]:
-        """Reproducible random sample without replacement (the paper samples
-        roughly 10% of the relevant bits)."""
-        if count >= len(self.bits):
+        """Reproducible random sample (the paper samples roughly 10% of
+        the relevant bits).
+
+        Up to the population size the draw is without replacement and
+        stays bit-identical to the seed campaigns.  Beyond it — the
+        ``huge`` Monte-Carlo scale injects orders of magnitude more
+        upsets than there are programmable bits — the whole population
+        is included once and the remainder is drawn with replacement,
+        so every injection count remains reproducible from the seed.
+        """
+        if count == len(self.bits):
             return list(self.bits)
         generator = random.Random(seed)
+        if count > len(self.bits):
+            return list(self.bits) + generator.choices(
+                self.bits, k=count - len(self.bits))
         return generator.sample(self.bits, count)
 
 

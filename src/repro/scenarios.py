@@ -151,6 +151,21 @@ register_scenario(Scenario(
 ))
 
 register_scenario(Scenario(
+    id="huge-fir",
+    title="Monte-Carlo campaign — 10^6 injections",
+    description="The Table 3 campaign on the unprotected and "
+                "medium-partition versions at the huge scale: one million "
+                "injections per design, covering every programmable bit "
+                "plus a reproducible with-replacement tail.  Duplicate "
+                "injections collapse onto shared lanes, so only the "
+                "numpy-compiled backend makes this scale practical.",
+    scale="huge",
+    designs=("standard", "TMR_p2"),
+    backend="numpy",
+    analyses=("table3",),
+))
+
+register_scenario(Scenario(
     id="table4-fir",
     title="Table 4 — effects of error-causing upsets",
     description="The Table 3 campaigns aggregated by effect category "

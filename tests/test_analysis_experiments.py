@@ -111,10 +111,11 @@ class TestOptimizer:
 
 class TestExperimentScaffolding:
     def test_scales_defined(self):
-        assert set(SCALES) == {"paper", "fast", "smoke", "tiny"}
+        assert set(SCALES) == {"paper", "fast", "smoke", "tiny", "huge"}
         assert scale_by_name("paper").taps == 11
+        assert scale_by_name("huge").campaign_faults == 1_000_000
         with pytest.raises(KeyError):
-            scale_by_name("huge")
+            scale_by_name("gigantic")
 
     def test_fir_spec_for_paper_scale(self):
         spec = fir_spec_for(scale_by_name("paper"))

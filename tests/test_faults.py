@@ -59,7 +59,14 @@ class TestFaultList:
         fault_list = fault_lists["design"]
         assert fault_list.sample(50, seed=1) == fault_list.sample(50, seed=1)
         assert fault_list.sample(50, seed=1) != fault_list.sample(50, seed=2)
-        assert len(fault_list.sample(10 ** 9)) == len(fault_list)
+        assert fault_list.sample(len(fault_list)) == fault_list.bits
+        # Monte-Carlo draws beyond the population cover every bit once and
+        # extend with a reproducible with-replacement tail (huge scale).
+        oversample = fault_list.sample(len(fault_list) + 20, seed=3)
+        assert len(oversample) == len(fault_list) + 20
+        assert oversample[:len(fault_list)] == fault_list.bits
+        assert set(oversample[len(fault_list):]) <= set(fault_list.bits)
+        assert oversample == fault_list.sample(len(fault_list) + 20, seed=3)
 
     def test_unknown_mode_rejected(self, implementation):
         with pytest.raises(ValueError):

@@ -11,24 +11,34 @@ import random
 import pytest
 
 from repro.faults import (BatchBackend, CampaignConfig, ExecutionBackend,
-                          FaultTask, FaultVerdict, ProcessPoolBackend,
-                          SerialBackend, VectorBackend, cache_stats,
-                          clear_cache, default_stimulus, get_cache,
-                          implementation_fingerprint, program_signature,
-                          resolve_backend, run_campaign, run_campaigns)
+                          FaultTask, FaultVerdict, NumpyBackend,
+                          ProcessPoolBackend, SerialBackend, VectorBackend,
+                          cache_stats, clear_cache, default_stimulus,
+                          get_cache, implementation_fingerprint,
+                          program_signature, resolve_backend, run_campaign,
+                          run_campaigns)
+from repro.sim import have_numpy
 
 CONFIG = CampaignConfig(num_faults=120, workload_cycles=6, seed=9)
 
-#: instances so the process backend actually forks even on a 1-CPU box,
-#: and a narrow vector backend so the lane packer must produce several
-#: shards per campaign
+needs_numpy = pytest.mark.skipif(not have_numpy(),
+                                 reason="numpy not installed")
+
+#: instances so the process backend actually forks even on a 1-CPU box
+#: (min_tasks=0 defeats its small-campaign serial fallback — the pool
+#: path itself is under test), and narrow vector/numpy backends so the
+#: lane packer must produce several shards per campaign
 BACKENDS_UNDER_TEST = [
     pytest.param(lambda: SerialBackend(), id="serial"),
     pytest.param(lambda: BatchBackend(), id="batch"),
-    pytest.param(lambda: ProcessPoolBackend(processes=2, shard_size=16),
+    pytest.param(lambda: ProcessPoolBackend(processes=2, shard_size=16,
+                                            min_tasks=0),
                  id="process"),
     pytest.param(lambda: VectorBackend(), id="vector"),
     pytest.param(lambda: VectorBackend(lane_width=8), id="vector-narrow"),
+    pytest.param(lambda: NumpyBackend(), id="numpy", marks=needs_numpy),
+    pytest.param(lambda: NumpyBackend(lane_width=8), id="numpy-narrow",
+                 marks=needs_numpy),
 ]
 
 
@@ -85,7 +95,8 @@ class TestBackendEquivalence:
                            run_campaign(implementation, CONFIG).results]
         bits = (fault_list_bits * 3)[:250]
         for backend in ("serial", "batch", "vector",
-                        ProcessPoolBackend(processes=2, shard_size=32)):
+                        ProcessPoolBackend(processes=2, shard_size=32,
+                                           min_tasks=0)):
             calls = []
             run_campaign(implementation, CONFIG, fault_bits=bits,
                          backend=backend,
@@ -136,6 +147,10 @@ class TestEngineApi:
         assert isinstance(resolve_backend("vector"), VectorBackend)
         assert isinstance(resolve_backend("bitparallel"), VectorBackend)
         assert isinstance(resolve_backend("ppsfp"), VectorBackend)
+        if have_numpy():
+            assert isinstance(resolve_backend("numpy"), NumpyBackend)
+            assert isinstance(resolve_backend("np"), NumpyBackend)
+            assert isinstance(resolve_backend("compiled"), NumpyBackend)
         assert isinstance(resolve_backend(BatchBackend), BatchBackend)
         instance = ProcessPoolBackend(processes=3)
         assert resolve_backend(instance) is instance
@@ -328,3 +343,35 @@ class TestDefaultStimulus:
                 values.setdefault(name[:-4], set()).add(value)
             for domain_values in values.values():
                 assert len(domain_values) == 1
+
+
+class TestProcessPoolFallback:
+    def test_small_campaign_falls_back_to_serial(self, implementation,
+                                                 serial_reference, caplog):
+        import logging
+
+        backend = ProcessPoolBackend(processes=2)
+        assert CONFIG.num_faults < backend.min_tasks
+        with caplog.at_level(logging.INFO, logger="repro.faults.engine"):
+            result = run_campaign(implementation, CONFIG, backend=backend)
+        # The fallback is visible in the report and in the log, and the
+        # verdicts are the serial ones.
+        assert backend.name == "process:serial-fallback"
+        assert result.backend == "process:serial-fallback"
+        assert any("cut-over" in record.message for record in caplog.records)
+        assert result.wrong_answers == serial_reference.wrong_answers
+        assert result.effect_table() == serial_reference.effect_table()
+
+    def test_threshold_zero_forces_the_pool(self, implementation):
+        backend = ProcessPoolBackend(processes=2, min_tasks=0)
+        result = run_campaign(implementation, CONFIG, backend=backend)
+        assert backend.name == "process"
+        assert result.backend == "process"
+
+    def test_pool_name_restored_after_fallback(self, implementation):
+        backend = ProcessPoolBackend(processes=2, min_tasks=0)
+        small = ProcessPoolBackend(processes=2)
+        run_campaign(implementation, CONFIG, backend=small)
+        assert small.name == "process:serial-fallback"
+        run_campaign(implementation, CONFIG, backend=backend)
+        assert backend.name == "process"

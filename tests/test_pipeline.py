@@ -25,7 +25,8 @@ def flow_store(tmp_path_factory):
 
 class TestRegistry:
     def test_builtin_catalog(self):
-        expected = {"table2-fir", "table3-fir", "table4-fir", "figures-fir",
+        expected = {"table2-fir", "table3-fir", "table4-fir", "huge-fir",
+                    "figures-fir",
                     "ablation-sweep", "floorplan-fir", "mbu-fir",
                     "accumulate-fir", "upset-matrix", "backend-matrix",
                     "partition-shortlist"}
