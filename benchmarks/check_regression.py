@@ -19,6 +19,12 @@ normalized speedup regresses by more than the tolerance:
   per-design ``simulated_reduction`` (how many times fewer injections the
   campaign backends evaluate), a count ratio and therefore fully portable
   across machines;
+* ``BENCH_service.json`` (optional, via
+  ``--service-baseline/--service-current``) — the campaign service's
+  ``warm_vs_cold_speedup`` (ratio-compared against the baseline and held
+  to an absolute floor), the warm wave's tier hit rate and jobs/sec
+  floors, and the coalescing proof (identical submissions must dedup to
+  one computation with bit-identical reports);
 * pipeline-stage cache reuse (optional, via ``--pipeline-report``, one or
   more warm-run JSON reports from ``python -m repro run ... --repeat 2``)
   — the implement stage must be served entirely from the flow store and
@@ -187,6 +193,56 @@ def check_predict(baseline: dict, current: dict, tolerance: float) -> list:
     return problems
 
 
+def service_speedups(payload: dict) -> dict:
+    """{metric: service speedup ratio} (portable across machines)."""
+    result = {}
+    if "warm_vs_cold_speedup" in payload:
+        result["warm_vs_cold_speedup"] = payload["warm_vs_cold_speedup"]
+    return result
+
+
+def check_service(baseline: dict, current: dict, tolerance: float,
+                  min_warm_speedup: float = 3.0,
+                  min_jobs_per_sec: float = 0.2,
+                  min_hit_rate: float = 0.75) -> list:
+    """Service regression messages (empty when the run is acceptable).
+
+    The warm-over-cold speedup is a same-machine ratio and so both
+    ratio-compares against the baseline and carries an absolute
+    acceptance floor; jobs/sec is machine-dependent and only has a
+    (relaxable) sanity floor catching a warm path that degenerated to
+    cold-path cost.
+    """
+    problems = _compare("service", service_speedups(baseline),
+                        service_speedups(current), tolerance)
+    speedup = current.get("warm_vs_cold_speedup", 0.0)
+    if speedup < min_warm_speedup:
+        problems.append(
+            f"service: warm_vs_cold_speedup {speedup:.2f}x fell below "
+            f"the {min_warm_speedup:.1f}x acceptance floor")
+    warm = current.get("warm", {})
+    jobs_per_second = warm.get("jobs_per_second", 0.0)
+    if jobs_per_second < min_jobs_per_sec:
+        problems.append(
+            f"service: warm jobs/sec {jobs_per_second:.3f} fell below "
+            f"the {min_jobs_per_sec:.3f} floor")
+    hit_rate = warm.get("tier_hit_rate")
+    if hit_rate is None or hit_rate < min_hit_rate:
+        shown = "missing" if hit_rate is None else f"{hit_rate:.2f}"
+        problems.append(
+            f"service: warm tier hit rate {shown} fell below the "
+            f"{min_hit_rate:.2f} floor")
+    coalescing = current.get("coalescing", {})
+    if coalescing.get("coalesced", 0) < 1:
+        problems.append("service: identical in-flight submissions did "
+                        "not coalesce")
+    for key in ("reports_identical", "recompute_identical"):
+        if not coalescing.get(key, False):
+            problems.append(f"service: coalescing proof {key} failed "
+                            f"(shared result diverged from a recompute)")
+    return problems
+
+
 def _pipeline_runs(report: dict):
     """Yield (label, single-run report) pairs, expanding matrix reports."""
     runs = report.get("runs")
@@ -249,6 +305,22 @@ def main(argv=None) -> int:
                         help="committed BENCH_predict.json")
     parser.add_argument("--predict-current", type=Path, default=None,
                         help="freshly measured BENCH_predict.json")
+    parser.add_argument("--service-baseline", type=Path, default=None,
+                        help="committed BENCH_service.json")
+    parser.add_argument("--service-current", type=Path, default=None,
+                        help="freshly measured BENCH_service.json")
+    parser.add_argument("--service-min-warm-speedup", type=float,
+                        default=3.0,
+                        help="absolute floor for the service's warm-over-"
+                             "cold aggregate speedup (default 3.0; relax "
+                             "on noisy shared runners)")
+    parser.add_argument("--service-min-jobs-per-sec", type=float,
+                        default=0.2,
+                        help="sanity floor for the warm wave's jobs/sec "
+                             "(machine-dependent; default 0.2)")
+    parser.add_argument("--service-min-hit-rate", type=float, default=0.75,
+                        help="floor for the warm wave's tier hit rate "
+                             "(default 0.75)")
     parser.add_argument("--pipeline-report", type=Path, action="append",
                         default=[], metavar="REPORT.json",
                         help="warm-run 'python -m repro run --repeat 2' "
@@ -268,10 +340,12 @@ def main(argv=None) -> int:
     arguments = parser.parse_args(argv)
     if arguments.baseline is None and arguments.flow_baseline is None \
             and arguments.predict_baseline is None \
+            and arguments.service_baseline is None \
             and not arguments.pipeline_report:
         parser.error("nothing to check: pass --baseline/--current, "
                      "--flow-baseline/--flow-current, "
-                     "--predict-baseline/--predict-current and/or "
+                     "--predict-baseline/--predict-current, "
+                     "--service-baseline/--service-current and/or "
                      "--pipeline-report")
     if (arguments.baseline is None) != (arguments.current is None):
         parser.error("--baseline and --current must be given together")
@@ -281,6 +355,10 @@ def main(argv=None) -> int:
     if (arguments.predict_baseline is None) != \
             (arguments.predict_current is None):
         parser.error("--predict-baseline and --predict-current must be "
+                     "given together")
+    if (arguments.service_baseline is None) != \
+            (arguments.service_current is None):
+        parser.error("--service-baseline and --service-current must be "
                      "given together")
 
     problems = []
@@ -333,6 +411,27 @@ def main(argv=None) -> int:
             shown = f"{measured:.2f}x" if measured is not None else "missing"
             print(f"prefilter {design}: baseline {reference:.2f}x -> "
                   f"current {shown}")
+    if arguments.service_baseline is not None and \
+            arguments.service_current is not None:
+        service_baseline = json.loads(arguments.service_baseline.read_text())
+        service_current = json.loads(arguments.service_current.read_text())
+        problems.extend(check_service(
+            service_baseline, service_current, arguments.tolerance,
+            min_warm_speedup=arguments.service_min_warm_speedup,
+            min_jobs_per_sec=arguments.service_min_jobs_per_sec,
+            min_hit_rate=arguments.service_min_hit_rate))
+        measured_service = service_speedups(service_current)
+        for metric, reference in sorted(
+                service_speedups(service_baseline).items()):
+            measured = measured_service.get(metric)
+            shown = f"{measured:.2f}x" if measured is not None else "missing"
+            print(f"service {metric}: baseline {reference:.2f}x -> "
+                  f"current {shown}")
+        warm = service_current.get("warm", {})
+        print(f"service warm jobs/sec: "
+              f"{warm.get('jobs_per_second', 0.0):.3f}, tier hit rate: "
+              f"{warm.get('tier_hit_rate')}, coalesced: "
+              f"{service_current.get('coalescing', {}).get('coalesced')}")
     for path in arguments.pipeline_report:
         report = json.loads(path.read_text())
         report_problems = check_pipeline(report, label=path.name)

@@ -8,7 +8,10 @@ a few minutes.  Set ``REPRO_BENCH_SCALE=fast`` or ``paper`` for larger runs,
 to pick the campaign execution backend, ``REPRO_BENCH_JOBS`` to place and
 route the suite designs in parallel worker processes, and
 ``REPRO_FLOW_CACHE`` to serve implementations from (and persist them to)
-the on-disk flow-artifact store; the experiment CLIs
+the on-disk flow-artifact store, and ``REPRO_BENCH_OUT`` to redirect the
+measured BENCH_*.json files (default ``.bench-out/``; pass the pytest
+flag ``--update-baselines`` to overwrite the committed baselines at the
+repository root instead); the experiment CLIs
 (``python -m repro.experiments.table3 --scale paper --backend vector
 --jobs 4 --flow-cache .flow-cache``) expose the same knobs outside pytest.
 
@@ -20,12 +23,23 @@ benchmark file.
 from __future__ import annotations
 
 import os
+from pathlib import Path
 
 import pytest
 
 from repro.experiments import (DESIGN_ORDER, build_design_suite,
                                campaign_config_for, implement_design_suite)
 from repro.faults import run_campaign
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Where freshly measured BENCH_*.json files land.  A plain test run must
+#: never clobber the committed baselines at the repository root (that
+#: silently rebases every later regression gate on this machine's noise —
+#: see CHANGES.md entry 7); overwriting them is opt-in via the
+#: ``--update-baselines`` pytest flag.
+BENCH_OUT = Path(os.environ.get("REPRO_BENCH_OUT")
+                 or REPO_ROOT / ".bench-out")
 
 BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "smoke")
 BENCH_FAULTS = int(os.environ.get("REPRO_BENCH_FAULTS", "0")) or None
@@ -34,6 +48,15 @@ BENCH_BACKEND = os.environ.get("REPRO_BENCH_BACKEND", "batch")
 BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 #: persistent flow-artifact directory (CI caches it across runs)
 BENCH_FLOW_CACHE = os.environ.get("REPRO_FLOW_CACHE")
+
+
+@pytest.fixture(scope="session")
+def bench_out_dir(request) -> Path:
+    """The directory BENCH_*.json results are written to this run."""
+    if request.config.getoption("--update-baselines"):
+        return REPO_ROOT
+    BENCH_OUT.mkdir(parents=True, exist_ok=True)
+    return BENCH_OUT
 
 
 @pytest.fixture(scope="session")

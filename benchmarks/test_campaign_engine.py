@@ -31,7 +31,6 @@ import dataclasses
 import json
 import os
 import time
-from pathlib import Path
 
 from repro.faults import (CampaignConfig, FaultListManager, NumpyBackend,
                           ProcessPoolBackend, VectorBackend, clear_cache,
@@ -70,7 +69,9 @@ NUMPY_UTILIZATION_FLOOR = float(
 #: optimal partition)
 MEASURED_DESIGNS = ("standard", "TMR_p2")
 
-BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_campaign.json"
+#: written into the session's ``bench_out_dir`` (committed baselines are
+#: only overwritten under ``--update-baselines``)
+BENCH_NAME = "BENCH_campaign.json"
 
 
 def _seed_serial_loop(implementation, config: CampaignConfig) -> dict:
@@ -120,7 +121,7 @@ def _timed(thunk):
 
 
 def test_campaign_engine_throughput(benchmark, design_suite,
-                                    implementations):
+                                    implementations, bench_out_dir):
     config = campaign_config_for(design_suite, num_faults=BENCH_FAULTS)
 
     clear_cache()
@@ -247,7 +248,8 @@ def test_campaign_engine_throughput(benchmark, design_suite,
             row["numpy_saturated"]["speedup_vs_seed_serial_throughput"]
             for row in payload["designs"].values())
 
-    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    (bench_out_dir / BENCH_NAME).write_text(
+        json.dumps(payload, indent=2) + "\n")
     benchmark.extra_info["campaign_engine"] = payload
     benchmark.pedantic(lambda: payload, rounds=1, iterations=1)
 

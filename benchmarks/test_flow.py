@@ -25,7 +25,6 @@ relax the local acceptance bars on noisy shared runners.
 import json
 import os
 import time
-from pathlib import Path
 
 from repro.experiments import DESIGN_ORDER, device_for
 from repro.fpga.bitgen import generate_bitstream
@@ -46,7 +45,9 @@ MIN_COLD_SPEEDUP = float(
 MIN_WARM_SPEEDUP = float(
     os.environ.get("REPRO_BENCH_FLOW_WARM_MIN_SPEEDUP", "10.0"))
 
-BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_flow.json"
+#: written into the session's ``bench_out_dir`` (committed baselines are
+#: only overwritten under ``--update-baselines``)
+BENCH_NAME = "BENCH_flow.json"
 
 
 def _seed_implement(suite, name):
@@ -91,7 +92,8 @@ def _timed(thunk):
     return value, time.perf_counter() - start
 
 
-def test_flow_throughput(benchmark, design_suite, tmp_path_factory):
+def test_flow_throughput(benchmark, design_suite, tmp_path_factory,
+                         bench_out_dir):
     suite = design_suite
     store = FlowArtifactStore(tmp_path_factory.mktemp("flow-artifacts"))
 
@@ -168,7 +170,8 @@ def test_flow_throughput(benchmark, design_suite, tmp_path_factory):
         "warm_speedup_vs_seed": round(seed_total / warm_total, 2),
     }
 
-    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    (bench_out_dir / BENCH_NAME).write_text(
+        json.dumps(payload, indent=2) + "\n")
     benchmark.extra_info["flow"] = payload
     benchmark.pedantic(lambda: payload, rounds=1, iterations=1)
 

@@ -6,11 +6,17 @@
     $ python -m repro run table3-fir --scale fast
     $ python -m repro run upset-matrix --scale smoke --backend vector \\
           --flow-cache .flow-cache --jobs 4 --json --output report.json
+    $ python -m repro serve --cache-tier .repro-tier
+    $ python -m repro submit table3-fir --scale fast --output report.json
 
 ``run`` executes one registered scenario through the pipeline engine and
 prints its report as Markdown (default) or JSON (``--json``); ``--output``
 additionally writes the JSON report to a file, so CI can both gate on it
 and archive it.  Every knob falls back to the scenario's own default.
+
+``serve`` starts the campaign service (an HTTP job queue over the shared
+warm-cache tier, sharding campaigns across worker processes); ``submit``
+posts one scenario to a running service and prints the report JSON.
 """
 
 from __future__ import annotations
@@ -64,6 +70,61 @@ def _build_parser() -> argparse.ArgumentParser:
     lister = commands.add_parser(
         "list", help="list the registered scenarios")
     add_json_argument(lister)
+
+    server = commands.add_parser(
+        "serve", help="start the campaign service (HTTP job runner)",
+        description="Run the campaign-as-a-service orchestrator: an HTTP "
+                    "job queue sharding campaigns across worker processes "
+                    "over a shared warm-cache tier.")
+    server.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: 127.0.0.1)")
+    server.add_argument("--port", type=int, default=8750,
+                        help="bind port; 0 picks a free one (default: 8750)")
+    server.add_argument("--cache-tier", metavar="DIR",
+                        default=".repro-tier",
+                        help="shared warm-cache tier directory "
+                             "(default: .repro-tier)")
+    server.add_argument("--tier-max-bytes", type=int, default=None,
+                        metavar="N",
+                        help="cache-tier eviction budget in bytes "
+                             "(default: 512 MiB)")
+    server.add_argument("--max-parallel", type=int, default=2, metavar="N",
+                        help="concurrently executing jobs (default: 2)")
+    server.add_argument("--backend", default="sharded",
+                        help="default campaign backend for submissions "
+                             "that do not pin one (default: sharded)")
+    server.add_argument("--verbose", action="store_true",
+                        help="log every HTTP request to stderr")
+
+    submitter = commands.add_parser(
+        "submit", help="submit a job to a running campaign service",
+        description="Submit one scenario to 'repro serve' and (by "
+                    "default) wait for the report.")
+    submitter.add_argument("scenario", help="scenario id (see 'repro list')")
+    submitter.add_argument("--url", default="http://127.0.0.1:8750",
+                           help="service base URL "
+                                "(default: http://127.0.0.1:8750)")
+    add_scale_argument(submitter, default=None)
+    add_backend_argument(submitter, default=None)
+    add_upset_model_argument(submitter, default=None)
+    add_prefilter_argument(submitter, default=None)
+    add_faults_argument(submitter)
+    submitter.add_argument("--seed", type=int, default=None,
+                           help="fault-sampling seed (default: the "
+                                "scenario's)")
+    submitter.add_argument("--design", action="append", dest="designs",
+                           metavar="NAME", default=None,
+                           help="restrict to one design version "
+                                "(repeatable)")
+    submitter.add_argument("--no-wait", action="store_true",
+                           help="return the job id immediately instead of "
+                                "waiting for the report")
+    submitter.add_argument("--timeout", type=float, default=3600.0,
+                           metavar="SECONDS",
+                           help="how long to wait for the report "
+                                "(default: 3600)")
+    submitter.add_argument("--output", metavar="FILE", default=None,
+                           help="also write the JSON report to FILE")
     return parser
 
 
@@ -121,10 +182,77 @@ def _list(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _serve(arguments: argparse.Namespace) -> int:
+    from .service import CampaignService, SharedCacheTier
+    from .service.httpd import make_server
+
+    tier = SharedCacheTier(arguments.cache_tier)
+    if arguments.tier_max_bytes is not None:
+        tier.max_bytes = arguments.tier_max_bytes
+    service = CampaignService(tier=tier,
+                              max_parallel=arguments.max_parallel,
+                              default_backend=arguments.backend)
+    service.start()
+    server = make_server(service, host=arguments.host, port=arguments.port,
+                         verbose=arguments.verbose)
+    host, port = server.server_address[:2]
+    print(f"campaign service listening on http://{host}:{port} "
+          f"(tier: {tier.root}, backend: {arguments.backend})",
+          file=sys.stderr, flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.shutdown()
+        service.stop()
+    return 0
+
+
+def _submit(arguments: argparse.Namespace) -> int:
+    from .service.httpd import fetch_report, submit_job, wait_for_job
+
+    spec = {"scenario": arguments.scenario}
+    for field in ("scale", "backend", "upset_model", "prefilter",
+                  "seed", "designs"):
+        value = getattr(arguments, field)
+        if value is not None:
+            spec[field] = value
+    if arguments.faults is not None:
+        spec["num_faults"] = arguments.faults
+
+    snapshot = submit_job(arguments.url, spec)
+    state = "joined in-flight job" if snapshot.get("coalesced") \
+        else "submitted"
+    print(f"{state} {snapshot['id']} ({snapshot['state']})",
+          file=sys.stderr, flush=True)
+    if arguments.no_wait:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0
+    final = wait_for_job(arguments.url, snapshot["id"],
+                         timeout=arguments.timeout)
+    if final["state"] != "done":
+        print(f"job {final['id']} failed: {final.get('error')}",
+              file=sys.stderr)
+        return 1
+    report = fetch_report(arguments.url, snapshot["id"])
+    payload = json.dumps(report, indent=2, default=str, sort_keys=True)
+    if arguments.output:
+        with open(arguments.output, "w") as handle:
+            handle.write(payload + "\n")
+        print(f"report written to {arguments.output}", file=sys.stderr)
+    print(payload)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     arguments = _build_parser().parse_args(argv)
     if arguments.command == "run":
         return _run(arguments)
+    if arguments.command == "serve":
+        return _serve(arguments)
+    if arguments.command == "submit":
+        return _submit(arguments)
     return _list(arguments)
 
 

@@ -433,16 +433,29 @@ def defeat_map_for(implementation: Implementation,
     """
     if use_cache:
         from ..faults.cache import get_cache
+        from ..service.tier import active_tier
 
         cache = get_cache()
         entry = cache.entry_for(implementation)
 
         def build() -> DefeatMap:
+            # Building the map dominates prefiltered campaigns, so an
+            # in-memory miss reads through the persistent tier first: a
+            # map built by any earlier process over a bit-identical
+            # implementation is exactly this one.
+            tier = active_tier()
+            if tier is not None:
+                stored = tier.load_defeat_map(entry.fingerprint, mode)
+                if stored is not None:
+                    return stored
             analyzer = LayoutAnalyzer(implementation, compiled=compiled,
                                       modeler=modeler,
                                       effect_lookup=effect_lookup)
             fault_list = entry.fault_list(mode, cache.stats)
-            return analyzer.build_map(fault_list)
+            defeat_map = analyzer.build_map(fault_list)
+            if tier is not None:
+                tier.store_defeat_map(entry.fingerprint, mode, defeat_map)
+            return defeat_map
 
         return entry.defeat_map(mode, build, cache.stats)
     analyzer = LayoutAnalyzer(implementation, compiled=compiled,

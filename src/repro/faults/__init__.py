@@ -8,15 +8,17 @@ from .campaign import (PREFILTER_CHOICES, CampaignConfig, CampaignResult,
                        CategoryCount, default_stimulus, run_campaign,
                        run_campaigns)
 from .engine import (BACKEND_CHOICES, BACKENDS, BackendUnavailableError,
-                     BatchBackend, CampaignContext, ExecutionBackend,
-                     FaultTask, FaultVerdict, NumpyBackend,
+                     BatchBackend, CampaignContext, CampaignWorkerError,
+                     ExecutionBackend, FaultTask, FaultVerdict, NumpyBackend,
                      ProcessPoolBackend, ProgressCallback, SerialBackend,
-                     VectorBackend, program_signature, resolve_backend)
+                     ShardedBackend, VectorBackend, program_signature,
+                     resolve_backend)
 from .fault_list import FAULT_LIST_MODES, FaultList, FaultListManager
 from .injector import FaultInjectionManager, FaultResult
 from .models import FaultEffect, FaultModeler
 from .report import (campaign_details, format_table, table3_report,
                      table4_report)
+from .seeds import derive_seed, split_shards, substream
 from .upsets import (UPSET_MODEL_CHOICES, UPSET_MODELS, AccumulatedUpset,
                      MultiBitUpset, SingleUpset, UpsetModel, merged_effect,
                      resolve_upset_model)
@@ -30,10 +32,11 @@ __all__ = [
     "table3_report", "table4_report",
     # execution engine
     "BACKEND_CHOICES", "BACKENDS", "BackendUnavailableError",
-    "BatchBackend", "CampaignContext", "ExecutionBackend",
-    "FaultTask", "FaultVerdict", "NumpyBackend", "ProcessPoolBackend",
-    "ProgressCallback", "SerialBackend", "VectorBackend",
-    "program_signature", "resolve_backend",
+    "BatchBackend", "CampaignContext", "CampaignWorkerError",
+    "ExecutionBackend", "FaultTask", "FaultVerdict", "NumpyBackend",
+    "ProcessPoolBackend", "ProgressCallback", "SerialBackend",
+    "ShardedBackend", "VectorBackend", "derive_seed", "program_signature",
+    "resolve_backend", "split_shards", "substream",
     # cache layer
     "CampaignCache", "CampaignCacheEntry", "cache_stats", "clear_cache",
     "configure_cache", "get_cache", "implementation_fingerprint",

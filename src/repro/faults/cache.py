@@ -191,9 +191,24 @@ class CampaignCacheEntry:
             if implementation is None:
                 raise RuntimeError("cached implementation was garbage "
                                    "collected")
+            # As with golden traces below, an in-memory miss (counted
+            # either way) may be served by the persistent tier: the list
+            # is pure data fully determined by (fingerprint, mode), and
+            # enumerating it walks every used routing node's candidate
+            # PIPs — the largest fault-count-independent cost of a warm
+            # campaign.
             stats.fault_list_misses += 1
-            self._fault_lists[mode] = \
-                FaultListManager(implementation).build(mode)
+            from ..service.tier import active_tier
+
+            tier = active_tier()
+            fault_list = tier.load_fault_list(self.fingerprint, mode) \
+                if tier is not None else None
+            if fault_list is None:
+                fault_list = FaultListManager(implementation).build(mode)
+                if tier is not None:
+                    tier.store_fault_list(self.fingerprint, mode,
+                                          fault_list)
+            self._fault_lists[mode] = fault_list
         else:
             stats.fault_list_hits += 1
         return self._fault_lists[mode]
@@ -203,10 +218,24 @@ class CampaignCacheEntry:
                ) -> Tuple[SimulationTrace, object]:
         key = stimulus_key(stimulus)
         if key not in self._golden:
+            # An in-memory miss (counted as such either way) may still be
+            # served by the persistent tier, when one is active: traces
+            # and gate programs are pure data keyed by the implementation
+            # fingerprint, so an entry written by any earlier process is
+            # exactly what this simulation would produce.
             stats.golden_misses += 1
-            simulator = Simulator(compiled)
-            trace = simulator.run(list(stimulus), record_nets=True)
-            self._golden[key] = (trace, simulator.program)
+            from ..service.tier import active_tier
+
+            tier = active_tier()
+            pair = tier.load_golden(self.fingerprint, key) \
+                if tier is not None else None
+            if pair is None:
+                simulator = Simulator(compiled)
+                pair = (simulator.run(list(stimulus), record_nets=True),
+                        simulator.program)
+                if tier is not None:
+                    tier.store_golden(self.fingerprint, key, *pair)
+            self._golden[key] = pair
             while len(self._golden) > MAX_GOLDEN_PER_ENTRY:
                 self._golden.popitem(last=False)
         else:

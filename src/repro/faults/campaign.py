@@ -213,6 +213,16 @@ def run_campaign(implementation: Implementation,
     model = resolve_upset_model(config.upset_model)
     start = time.time()
 
+    # Remember the last verdict count the backend reported so the final
+    # 100% tick (below) fires exactly once per campaign.
+    reported = [0]
+    if progress is not None:
+        caller_progress = progress
+
+        def progress(done: int, total: int) -> None:
+            reported[0] = done
+            caller_progress(done, total)
+
     cache_entry = get_cache().entry_for(implementation) if use_cache else None
     if use_cache:
         stats = get_cache().stats
@@ -300,6 +310,14 @@ def run_campaign(implementation: Implementation,
     else:
         tasks = context.tasks_for_groups(groups)
         verdicts = engine.run(context, tasks, progress)
+
+    # Backends only tick the callback every PROGRESS_INTERVAL tasks, so a
+    # small campaign would otherwise finish without ever reporting; status
+    # consumers (the service's job progress) rely on the final 100% tick.
+    # Campaigns whose last backend tick already reported every verdict
+    # (task counts that are exact interval multiples) must not tick twice.
+    if progress is not None and reported[0] != len(verdicts):
+        progress(len(verdicts), len(verdicts))
 
     results: List[FaultResult] = []
     by_category: Dict[str, CategoryCount] = {

@@ -28,7 +28,12 @@ picklable units and executes them behind interchangeable backends:
   - :class:`NumpyBackend` — compiles the lane program into vectorized
     numpy sweeps (:mod:`repro.sim.npkernel`) and packs lanes *across*
     cones under one union cone, so shards run near-full instead of
-    fragmenting per fault group (requires the optional numpy dependency).
+    fragmenting per fault group (requires the optional numpy dependency);
+  - :class:`ShardedBackend` — the campaign service's executor: splits the
+    task list into the deterministic :func:`~repro.faults.seeds.split_shards`
+    schedule and runs each shard through a *vectorized* backend inside a
+    ``concurrent.futures`` worker process, so process-level sharding and
+    the numpy kernel stack multiplicatively.
 
 Every backend must produce bit-identical campaign aggregates for the same
 sampled fault list — the equivalence is enforced by the test suite.
@@ -53,6 +58,7 @@ from ..sim.simulator import SimulationTrace, Simulator
 from .cache import CacheStats, CampaignCacheEntry
 from .injector import FaultResult
 from .models import FaultEffect, FaultModeler
+from .seeds import split_shards
 
 #: ``progress(done, total)`` callback signature shared by the engine API.
 ProgressCallback = Callable[[int, int], None]
@@ -801,6 +807,163 @@ class ProcessPoolBackend(ExecutionBackend):
         return [verdict for verdict in verdicts if verdict is not None]
 
 
+# ----------------------------------------------------------------------
+# Sharded backend: the campaign service's executor.  Unlike the plain
+# process pool (whose workers evaluate serially), each sharded worker
+# runs a *vectorized* inner backend over its slice of the task list, so
+# process parallelism and lane packing stack.
+class CampaignWorkerError(RuntimeError):
+    """A sharded campaign worker process died mid-campaign.
+
+    Raised instead of the raw ``BrokenProcessPool`` so the service can
+    fail the owning job with an actionable message (which backend, how
+    many tasks in flight) rather than hanging or surfacing a bare pool
+    error.
+    """
+
+
+_SHARD_INNER: Optional[ExecutionBackend] = None
+
+
+def _init_shard_worker(context: CampaignContext, inner_spec: str) -> None:
+    global _WORKER_CONTEXT, _SHARD_INNER
+    _WORKER_CONTEXT = context
+    _SHARD_INNER = resolve_backend(inner_spec)
+    context.prepare()
+
+
+def _run_task_shard(shard: List[FaultTask]) -> List[FaultVerdict]:
+    context = _WORKER_CONTEXT
+    assert context is not None and _SHARD_INNER is not None, \
+        "sharded worker used before initialization"
+    # Inner backends place verdicts by task index into a list sized to
+    # the tasks they were handed, so a shard must be locally re-indexed
+    # before the run and its verdicts restored to global indices after.
+    local = [dataclasses.replace(task, index=position)
+             for position, task in enumerate(shard)]
+    verdicts = _SHARD_INNER.run(context, local)
+    return [dataclasses.replace(verdict, index=shard[verdict.index].index)
+            for verdict in verdicts]
+
+
+class ShardedBackend(ExecutionBackend):
+    """Shard the task list across worker processes running a vector kernel.
+
+    The shard schedule is :func:`~repro.faults.seeds.split_shards` —
+    contiguous, non-overlapping, covering — so any worker can re-derive
+    its slice from ``(len(tasks), shards, index)`` and the sharding is
+    reproducible independent of pool scheduling.  Verdicts are placed by
+    their task index, making the result order (and every campaign
+    aggregate) bit-identical to the serial backend regardless of which
+    worker finishes first.
+
+    ``inner`` names the per-worker backend (default: ``numpy`` when the
+    optional dependency is importable, else ``vector``) — each worker
+    holds the compiled design once and sweeps its whole shard through the
+    vectorized kernel, so saturated lane sweeps stack with process
+    parallelism instead of replacing it.
+
+    Small campaigns (below ``min_tasks``) skip the pool entirely and run
+    the inner backend inline — same cut-over rationale as
+    :class:`ProcessPoolBackend`, visible in reports as
+    ``sharded:inline-fallback``.  A worker killed mid-campaign raises
+    :class:`CampaignWorkerError` instead of hanging.
+    """
+
+    name = "sharded"
+
+    def __init__(self, workers: Optional[int] = None,
+                 inner: Optional[str] = None,
+                 shards_per_worker: int = 2,
+                 min_tasks: int = 1000) -> None:
+        self.workers = workers
+        self.inner = inner
+        self.shards_per_worker = max(1, shards_per_worker)
+        self.min_tasks = min_tasks
+        self.last_run_stats: Dict[str, object] = {}
+
+    def inner_spec(self) -> str:
+        if self.inner is not None:
+            return self.inner
+        return "numpy" if npkernel.have_numpy() else "vector"
+
+    def _worker_count(self, num_tasks: int) -> int:
+        if self.workers is not None:
+            return max(1, self.workers)
+        return max(1, min(os.cpu_count() or 1, num_tasks))
+
+    def run(self, context: CampaignContext, tasks: Sequence[FaultTask],
+            progress: Optional[ProgressCallback] = None
+            ) -> List[FaultVerdict]:
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
+
+        inner_spec = self.inner_spec()
+        workers = self._worker_count(len(tasks))
+        if not tasks or workers == 1 or len(tasks) < self.min_tasks:
+            # Degrading must stay visible in reports (benchmarks attribute
+            # faults/sec to the backend name) — same contract as the
+            # process backend's serial fallback.
+            self.name = "sharded:inline-fallback"
+            inner = resolve_backend(inner_spec)
+            verdicts = inner.run(context, tasks, progress)
+            self.last_run_stats = {"workers": 1, "shards": 1,
+                                   "inner": inner.name, "inline": True}
+            return verdicts
+        self.name = ShardedBackend.name
+
+        try:
+            mp_context = multiprocessing.get_context("fork")
+        except ValueError:
+            mp_context = multiprocessing.get_context()
+
+        # Same worker-priming strategy as ProcessPoolBackend: golden
+        # trace computed once before the pool starts, cache entry
+        # detached under spawn (weak references are unpicklable).
+        context.prepare()
+        worker_context = context
+        if mp_context.get_start_method() != "fork":
+            worker_context = context.detached()
+
+        task_list = list(tasks)
+        ranges = split_shards(len(task_list),
+                              workers * self.shards_per_worker)
+        shards = [task_list[start:stop] for start, stop in ranges
+                  if stop > start]
+
+        verdicts: List[Optional[FaultVerdict]] = [None] * len(task_list)
+        total = len(task_list)
+        done = 0
+        executor = ProcessPoolExecutor(
+            max_workers=workers, mp_context=mp_context,
+            initializer=_init_shard_worker,
+            initargs=(worker_context, inner_spec))
+        try:
+            for shard_verdicts in executor.map(_run_task_shard, shards):
+                for verdict in shard_verdicts:
+                    verdicts[verdict.index] = verdict
+                    done += 1
+                    self._tick(progress, done, total)
+        except BrokenProcessPool as exc:
+            raise CampaignWorkerError(
+                f"a sharded campaign worker died after {done}/{total} "
+                f"verdicts (inner backend {inner_spec!r}, {workers} "
+                f"workers, {len(shards)} shards); the campaign was "
+                "aborted — rerun, or use an in-process backend to "
+                "debug the fault") from exc
+        finally:
+            executor.shutdown(wait=True, cancel_futures=True)
+        self.last_run_stats = {
+            "workers": workers,
+            "shards": len(shards),
+            "shard_sizes": [stop - start for start, stop in ranges],
+            "inner": inner_spec,
+            "inline": False,
+        }
+        return [verdict for verdict in verdicts if verdict is not None]
+
+
 #: Registry of backend names accepted by the ``backend=`` knob.
 BACKENDS = {
     SerialBackend.name: SerialBackend,
@@ -808,9 +971,11 @@ BACKENDS = {
     ProcessPoolBackend.name: ProcessPoolBackend,
     VectorBackend.name: VectorBackend,
     NumpyBackend.name: NumpyBackend,
+    ShardedBackend.name: ShardedBackend,
     # convenience aliases
     "processpool": ProcessPoolBackend,
     "pool": ProcessPoolBackend,
+    "service": ShardedBackend,
     "bitparallel": VectorBackend,
     "ppsfp": VectorBackend,
     "np": NumpyBackend,
@@ -821,7 +986,7 @@ BACKENDS = {
 #: accepts aliases, but they are not part of the public surface).
 BACKEND_CHOICES = (SerialBackend.name, BatchBackend.name,
                    ProcessPoolBackend.name, VectorBackend.name,
-                   NumpyBackend.name)
+                   NumpyBackend.name, ShardedBackend.name)
 
 BackendLike = Union[None, str, ExecutionBackend]
 

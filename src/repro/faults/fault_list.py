@@ -31,6 +31,7 @@ from ..fpga.config import LUT_BITS, lut_bit, pip_resource, slice_cfg
 from ..fpga.device import LUT_SLOTS, SLICE_INPUT_PINS
 from ..fpga.routing import Node, Pip, ipin, pips_into_tile
 from ..pnr.flow import Implementation
+from .seeds import substream
 
 FAULT_LIST_MODES = ("design", "extended", "programmed")
 
@@ -55,16 +56,21 @@ class FaultList:
         stays bit-identical to the seed campaigns.  Beyond it — the
         ``huge`` Monte-Carlo scale injects orders of magnitude more
         upsets than there are programmable bits — the whole population
-        is included once and the remainder is drawn with replacement,
-        so every injection count remains reproducible from the seed.
+        is included once and the remainder is drawn with replacement.
+        The tail generator is seeded on the *labeled substream*
+        ``derive_seed(seed, "oversample")`` (see
+        :mod:`repro.faults.seeds`), never on the raw seed: a sharded
+        worker that re-derives the base permutation from the same seed
+        therefore can never track the tail stream, and every injection
+        count remains reproducible from ``(seed, count)`` alone.
         """
         if count == len(self.bits):
             return list(self.bits)
-        generator = random.Random(seed)
         if count > len(self.bits):
-            return list(self.bits) + generator.choices(
+            tail = substream(seed, "oversample")
+            return list(self.bits) + tail.choices(
                 self.bits, k=count - len(self.bits))
-        return generator.sample(self.bits, count)
+        return random.Random(seed).sample(self.bits, count)
 
 
 class FaultListManager:

@@ -41,7 +41,7 @@ import hashlib
 import platform
 import sys
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from . import __version__
 from .analysis import (area_overhead, best_partition, improvement_factor,
@@ -94,7 +94,9 @@ class PipelineContext:
                  partition_selector: str = "canonical",
                  shortlist_size: int = 3,
                  analyses: Sequence[str] = (),
-                 progress: bool = False) -> None:
+                 progress: bool = False,
+                 progress_callback: Optional[Callable[[str, int, int],
+                                                      None]] = None) -> None:
         self.scenario_id = scenario_id
         self.scale = scale
         self.designs: List[str] = list(designs)
@@ -111,6 +113,9 @@ class PipelineContext:
         self.shortlist_size = shortlist_size
         self.analyses: List[str] = list(analyses)
         self.progress = progress
+        #: machine-facing progress hook ``(design, done, total)`` — the
+        #: service's job monitor; independent of the human ``progress`` flag
+        self.progress_callback = progress_callback
         # artefacts produced by the stages
         self.suite: Optional[DesignSuite] = None
         self.implementations: Optional[Dict[str, object]] = None
@@ -306,7 +311,11 @@ class CampaignStage(Stage):
             if name not in ctx.implementations:
                 continue
             callback = None
-            if ctx.progress:
+            if ctx.progress_callback is not None:
+                monitor = ctx.progress_callback
+                callback = lambda done, total, design=name: monitor(
+                    design, done, total)
+            elif ctx.progress:
                 # stderr so ``--json`` runs keep a machine-readable stdout
                 callback = lambda done, total, design=name: print(
                     f"  {design}: {done}/{total} faults", file=sys.stderr,

@@ -32,6 +32,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import threading
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, Optional, Union
 
@@ -61,8 +62,20 @@ class StoreStats:
     corrupt_evictions: int = 0
     store_failures: int = 0
 
+    def __post_init__(self) -> None:
+        # The campaign service implements designs from concurrent jobs;
+        # a bare ``+= 1`` is a read-modify-write that loses updates under
+        # threads.  The lock is a plain attribute (not a field), so
+        # ``dataclasses.asdict`` never tries to copy it.
+        self.lock = threading.Lock()
+
+    def bump(self, counter: str) -> None:
+        with self.lock:
+            setattr(self, counter, getattr(self, counter) + 1)
+
     def as_dict(self) -> Dict[str, int]:
-        return dataclasses.asdict(self)
+        with self.lock:
+            return dataclasses.asdict(self)
 
 
 def netlist_fingerprint(definition: Definition) -> str:
@@ -161,19 +174,19 @@ class FlowArtifactStore:
             with open(path, "rb") as handle:
                 payload = pickle.load(handle)
         except FileNotFoundError:
-            self.stats.misses += 1
+            self.stats.bump("misses")
             return None
         except Exception:
             # Truncated write, foreign file, unpicklable garbage: evict
             # and fall back to a recompute.
             self._evict(path)
-            self.stats.misses += 1
+            self.stats.bump("misses")
             return None
         if not isinstance(payload, dict) \
                 or payload.get("tool_version") != TOOL_VERSION \
                 or payload.get("key") != key:
             self._evict(path)
-            self.stats.misses += 1
+            self.stats.bump("misses")
             return None
         implementation = payload["implementation"]
         implementation.design = design
@@ -186,7 +199,14 @@ class FlowArtifactStore:
         if layout.total_bits == implementation.layout.total_bits:
             implementation.layout = layout
             implementation.bitstream.layout = layout
-        self.stats.hits += 1
+        try:
+            # Refresh recency: when the store lives inside a shared cache
+            # tier, LRU eviction ranks entries by mtime, and a hit must
+            # spare a warm artifact before an idle one.
+            os.utime(path)
+        except OSError:
+            pass
+        self.stats.bump("hits")
         return implementation
 
     def store(self, key: str, implementation: "Implementation") -> bool:
@@ -215,15 +235,15 @@ class FlowArtifactStore:
         except Exception:
             # A read-only cache directory or a full disk must never fail
             # the flow itself; the artifact is merely not persisted.
-            self.stats.store_failures += 1
+            self.stats.bump("store_failures")
             return False
-        self.stats.stores += 1
+        self.stats.bump("stores")
         return True
 
     def _evict(self, path: Path) -> None:
         try:
             path.unlink()
-            self.stats.corrupt_evictions += 1
+            self.stats.bump("corrupt_evictions")
         except OSError:
             pass
 

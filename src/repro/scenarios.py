@@ -81,7 +81,8 @@ class Scenario:
             yield variant_id, dataclasses.replace(self, axes=(), **overrides)
 
     def context(self, *, jobs: int = 1, flow_cache: StoreLike = None,
-                progress: bool = False) -> PipelineContext:
+                progress: bool = False,
+                progress_callback=None) -> PipelineContext:
         """A pipeline context carrying this scenario's resolved knobs."""
         return PipelineContext(
             scenario_id=self.id,
@@ -100,6 +101,7 @@ class Scenario:
             shortlist_size=self.shortlist_size,
             analyses=self.analyses,
             progress=progress,
+            progress_callback=progress_callback,
         )
 
 
@@ -311,6 +313,7 @@ def run_scenario(scenario: Union[str, Scenario], *,
                  jobs: int = 1,
                  flow_cache: StoreLike = None,
                  progress: bool = False,
+                 progress_callback=None,
                  repeat: int = 1) -> Dict[str, object]:
     """Run one scenario (expanding its matrix axes) and return the report.
 
@@ -368,18 +371,21 @@ def run_scenario(scenario: Union[str, Scenario], *,
     keepalive: List[PipelineContext] = []
     for _ in range(repeat):
         report = _run_once(scenario, jobs=jobs, flow_cache=flow_cache,
-                           progress=progress, keepalive=keepalive)
+                           progress=progress,
+                           progress_callback=progress_callback,
+                           keepalive=keepalive)
     report["repeat"] = repeat
     return report
 
 
 def _run_once(scenario: Scenario, *, jobs: int, flow_cache: StoreLike,
-              progress: bool,
+              progress: bool, progress_callback=None,
               keepalive: Optional[List[PipelineContext]] = None
               ) -> Dict[str, object]:
     def execute(variant: Scenario) -> Dict[str, object]:
         ctx = variant.context(jobs=jobs, flow_cache=flow_cache,
-                              progress=progress)
+                              progress=progress,
+                              progress_callback=progress_callback)
         if keepalive is not None:
             keepalive.append(ctx)
         return pipeline_for(variant.stages).run(ctx)

@@ -1,0 +1,38 @@
+"""Campaign-as-a-service: async job runner over a shared warm-cache tier.
+
+The service layer wraps the scenario pipeline (:mod:`repro.scenarios` /
+:mod:`repro.pipeline`) in a long-running orchestrator:
+
+* :mod:`repro.service.tier` — one persistent cache tier unifying the
+  flow-artifact store with new on-disk stores for golden traces and
+  static defeat maps, size-bounded LRU eviction, atomic writes;
+* :mod:`repro.service.jobs` — the job queue: submissions, states,
+  in-flight request coalescing by content fingerprint;
+* :mod:`repro.service.orchestrator` — the asyncio orchestrator executing
+  jobs with bounded concurrency, sharding each campaign's fault tasks
+  across worker processes through the engine's sharded backend;
+* :mod:`repro.service.httpd` — a dependency-free HTTP surface
+  (``repro serve`` / ``repro submit``) over the orchestrator.
+
+Everything here is stdlib-only; campaigns stay bit-identical to a direct
+:func:`repro.scenarios.run_scenario` call (enforced by the test suite).
+"""
+
+from .jobs import (JobQueue, JobSpec, JobState,  # noqa: F401
+                   job_fingerprint)
+from .orchestrator import CampaignService  # noqa: F401
+from .tier import (SharedCacheTier, activate_tier,  # noqa: F401
+                   active_tier, deactivate_tier, resolve_tier)
+
+__all__ = [
+    "CampaignService",
+    "JobQueue",
+    "JobSpec",
+    "JobState",
+    "SharedCacheTier",
+    "activate_tier",
+    "active_tier",
+    "deactivate_tier",
+    "job_fingerprint",
+    "resolve_tier",
+]

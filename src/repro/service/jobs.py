@@ -1,0 +1,261 @@
+"""Job queue for the campaign service: submissions, states, coalescing.
+
+A *job* is one scenario run — a :class:`JobSpec` naming a registered
+scenario plus the same keyword overrides :func:`repro.scenarios.run_scenario`
+accepts.  The queue assigns ids, tracks lifecycle state
+(``pending → running → done | failed``), and **coalesces** concurrent
+identical submissions: the spec is resolved against the scenario's
+defaults into a content fingerprint, and while a job for that
+fingerprint is in flight any further submission joins it instead of
+spawning a second compute.  All joiners observe the one result — the
+acceptance criterion is one compute, N bit-identical reports.
+
+Coalescing is in-flight only.  A *finished* job does not absorb new
+submissions (a client may legitimately want a fresh run, e.g. after
+changing code); re-running a warm spec is cheap anyway because the
+shared cache tier hands back the expensive artefacts.
+
+Everything is thread-safe under one lock; the queue itself never runs
+jobs — that is the orchestrator's business.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..scenarios import Scenario, scenario_by_name
+
+
+class JobState:
+    """Lifecycle states of a job (plain strings: JSON-friendly)."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+    #: states in which a job can still absorb identical submissions
+    IN_FLIGHT = (PENDING, RUNNING)
+    ALL = (PENDING, RUNNING, DONE, FAILED)
+
+
+@dataclasses.dataclass(frozen=True)
+class JobSpec:
+    """One campaign submission: a scenario plus optional overrides.
+
+    ``None`` means "the scenario's default"; the fingerprint is computed
+    from the *resolved* values, so ``JobSpec("table3-fir")`` and
+    ``JobSpec("table3-fir", scale="fast")`` coalesce when ``fast`` is
+    already the scenario's default scale.
+    """
+
+    scenario: str
+    scale: Optional[str] = None
+    backend: Optional[str] = None
+    upset_model: Optional[str] = None
+    num_faults: Optional[int] = None
+    prefilter: Optional[str] = None
+    seed: Optional[int] = None
+    fault_list_mode: Optional[str] = None
+    designs: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.designs is not None and not isinstance(self.designs, tuple):
+            object.__setattr__(self, "designs", tuple(self.designs))
+
+    # ------------------------------------------------------------------
+    def overrides(self) -> Dict[str, object]:
+        """The non-default fields, as ``run_scenario`` keyword arguments."""
+        out: Dict[str, object] = {}
+        for field in dataclasses.fields(self):
+            if field.name == "scenario":
+                continue
+            value = getattr(self, field.name)
+            if value is not None:
+                out[field.name] = value
+        return out
+
+    def resolve(self) -> Scenario:
+        """The concrete scenario this spec runs (defaults applied).
+
+        Raises :class:`KeyError` for an unknown scenario name — callers
+        surface that at submission time, not inside a worker.
+        """
+        scenario = scenario_by_name(self.scenario)
+        overrides = self.overrides()
+        if overrides:
+            # Overriding a field that is also a matrix axis collapses the
+            # axis — same rule as run_scenario, so fingerprints agree
+            # with what actually executes.
+            axes = tuple(axis for axis in scenario.axes
+                         if axis[0] not in overrides)
+            scenario = dataclasses.replace(scenario, axes=axes, **overrides)
+        return scenario
+
+    def as_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {"scenario": self.scenario}
+        for key, value in self.overrides().items():
+            out[key] = list(value) if isinstance(value, tuple) else value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "JobSpec":
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown job spec fields: {', '.join(unknown)}")
+        if "scenario" not in data:
+            raise ValueError("job spec needs a 'scenario' field")
+        kwargs = dict(data)
+        if kwargs.get("designs") is not None:
+            kwargs["designs"] = tuple(kwargs["designs"])
+        return cls(**kwargs)
+
+
+def job_fingerprint(spec: JobSpec) -> str:
+    """Content fingerprint of the work *spec* resolves to.
+
+    Two specs with the same fingerprint run the exact same pipeline over
+    the exact same inputs and produce bit-identical stable reports, so
+    the queue may serve both from one compute.  The digest covers every
+    field of the resolved scenario (axes included).
+    """
+    resolved = dataclasses.asdict(spec.resolve())
+    material = repr(sorted(resolved.items()))
+    return hashlib.sha1(material.encode()).hexdigest()
+
+
+@dataclasses.dataclass
+class Job:
+    """One queued campaign and everything observers may poll."""
+
+    id: str
+    spec: JobSpec
+    fingerprint: str
+    state: str = JobState.PENDING
+    #: total submissions served by this job (1 + coalesced joiners)
+    submissions: int = 1
+    report: Optional[Dict[str, object]] = None
+    error: Optional[str] = None
+    #: live progress from the pipeline: {"done": int, "total": int, ...}
+    progress: Dict[str, object] = dataclasses.field(default_factory=dict)
+    submitted_at: float = dataclasses.field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    done_event: threading.Event = dataclasses.field(
+        default_factory=threading.Event, repr=False, compare=False)
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job settles (done or failed)."""
+        return self.done_event.wait(timeout)
+
+    def elapsed(self) -> Optional[float]:
+        if self.started_at is None:
+            return None
+        return (self.finished_at or time.time()) - self.started_at
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-safe status view (report served separately)."""
+        return {
+            "id": self.id,
+            "spec": self.spec.as_dict(),
+            "fingerprint": self.fingerprint,
+            "state": self.state,
+            "submissions": self.submissions,
+            "progress": dict(self.progress),
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "elapsed_seconds": self.elapsed(),
+            "error": self.error,
+        }
+
+
+class JobQueue:
+    """Thread-safe job registry with in-flight request coalescing."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, Job] = {}
+        self._in_flight: Dict[str, str] = {}  # fingerprint -> job id
+        self._counter = itertools.count(1)
+        self.coalesced = 0  # joiners served without a compute
+
+    # ------------------------------------------------------------------
+    def submit(self, spec: JobSpec) -> Tuple[Job, bool]:
+        """Register *spec*; returns ``(job, created)``.
+
+        ``created`` is False when the submission coalesced onto an
+        in-flight job with the same fingerprint — the caller must only
+        schedule execution when it is True.
+        """
+        fingerprint = job_fingerprint(spec)  # raises on unknown scenario
+        with self._lock:
+            existing_id = self._in_flight.get(fingerprint)
+            if existing_id is not None:
+                job = self._jobs[existing_id]
+                if job.state in JobState.IN_FLIGHT:
+                    job.submissions += 1
+                    self.coalesced += 1
+                    return job, False
+            job = Job(id=f"job-{next(self._counter):04d}", spec=spec,
+                      fingerprint=fingerprint)
+            self._jobs[job.id] = job
+            self._in_flight[fingerprint] = job.id
+            return job, True
+
+    # ------------------------------------------------------------------
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise KeyError(f"unknown job {job_id!r}") from None
+
+    def jobs(self) -> List[Job]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    # ------------------------------------------------------------------
+    def mark_running(self, job: Job) -> None:
+        with self._lock:
+            job.state = JobState.RUNNING
+            job.started_at = time.time()
+
+    def finish(self, job: Job, report: Dict[str, object]) -> None:
+        self._settle(job, JobState.DONE, report=report)
+
+    def fail(self, job: Job, error: str) -> None:
+        self._settle(job, JobState.FAILED, error=error)
+
+    def _settle(self, job: Job, state: str, *,
+                report: Optional[Dict[str, object]] = None,
+                error: Optional[str] = None) -> None:
+        with self._lock:
+            job.state = state
+            job.report = report
+            job.error = error
+            job.finished_at = time.time()
+            if self._in_flight.get(job.fingerprint) == job.id:
+                del self._in_flight[job.fingerprint]
+        job.done_event.set()
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            by_state = {state: 0 for state in JobState.ALL}
+            submissions = 0
+            for job in self._jobs.values():
+                by_state[job.state] += 1
+                submissions += job.submissions
+            return {
+                "jobs": len(self._jobs),
+                "submissions": submissions,
+                "coalesced": self.coalesced,
+                "by_state": by_state,
+            }

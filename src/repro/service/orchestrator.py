@@ -1,0 +1,214 @@
+"""The campaign orchestrator: an asyncio job runner over the cache tier.
+
+:class:`CampaignService` owns
+
+* a :class:`~repro.service.jobs.JobQueue` (submissions, coalescing),
+* an asyncio event loop on a daemon thread (so the service embeds in any
+  host — the CLI's HTTP server, a test, a notebook — without requiring
+  the host to be async),
+* a semaphore bounding how many campaigns execute concurrently, each on
+  its own worker thread via :func:`asyncio.to_thread`,
+* the process-wide :class:`~repro.service.tier.SharedCacheTier`, which
+  it activates so golden traces and defeat maps persist across jobs and
+  across service restarts (the flow store rides inside the same tier).
+
+Campaign *compute* does not run on the loop: a job is one synchronous
+:func:`repro.scenarios.run_scenario` call on a worker thread, optionally
+sharded across worker *processes* by the engine's ``sharded`` backend.
+The loop only sequences jobs, which keeps submission and status queries
+responsive while campaigns crunch.
+
+Failure surfacing: any exception escaping a job — including
+:class:`~repro.faults.engine.CampaignWorkerError` from a killed sharded
+worker — marks the job ``failed`` with the formatted cause; it never
+hangs the queue or the loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import threading
+import time
+import traceback
+from typing import Dict, List, Optional, Tuple
+
+from ..scenarios import run_scenario
+from .jobs import Job, JobQueue, JobSpec
+from .tier import SharedCacheTier, TierLike, activate_tier, resolve_tier
+
+#: Default cap on concurrently executing jobs.  Two keeps a long campaign
+#: from starving short ones while bounding memory (each running job holds
+#: its pipeline context).
+DEFAULT_MAX_PARALLEL = 2
+
+
+class ServiceError(RuntimeError):
+    """The service was used in an invalid state (not started, stopped)."""
+
+
+class CampaignService:
+    """Accepts :class:`JobSpec` submissions and runs them to reports.
+
+    Parameters
+    ----------
+    tier:
+        The shared warm-cache tier (a :class:`SharedCacheTier`, a
+        directory path, or ``None`` to run without persistence).  The
+        service activates it process-wide so every cache layer reads
+        through it.
+    max_parallel:
+        Concurrently executing jobs (queue depth is unbounded).
+    default_backend:
+        Applied to submissions that do not pin a backend — the service
+        default is the engine's ``sharded`` backend.  Normalization
+        happens at submission time, so the job's fingerprint, its report
+        provenance and a direct ``run_scenario`` call all agree.
+    """
+
+    def __init__(self, *, tier: TierLike = None,
+                 max_parallel: int = DEFAULT_MAX_PARALLEL,
+                 default_backend: Optional[str] = "sharded") -> None:
+        if max_parallel < 1:
+            raise ValueError("max_parallel must be at least 1")
+        self.queue = JobQueue()
+        self.tier: Optional[SharedCacheTier] = resolve_tier(tier)
+        self.max_parallel = max_parallel
+        self.default_backend = default_backend
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._semaphore: Optional[asyncio.Semaphore] = None
+        self._futures: List["asyncio.Future"] = []
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "CampaignService":
+        with self._lock:
+            if self._loop is not None:
+                return self
+            activate_tier(self.tier)
+            self._loop = asyncio.new_event_loop()
+            # The semaphore must be created on the service loop.
+            self._semaphore = asyncio.Semaphore(self.max_parallel)
+            self._thread = threading.Thread(
+                target=self._loop.run_forever,
+                name="repro-campaign-service", daemon=True)
+            self._thread.start()
+        return self
+
+    def stop(self, timeout: Optional[float] = 30.0) -> None:
+        """Drain running jobs, then stop the loop thread."""
+        with self._lock:
+            loop, thread = self._loop, self._thread
+            self._loop = self._thread = self._semaphore = None
+        if loop is None:
+            return
+        self.wait(timeout=timeout)
+        loop.call_soon_threadsafe(loop.stop)
+        if thread is not None:
+            thread.join(timeout=5.0)
+        loop.close()
+
+    def __enter__(self) -> "CampaignService":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, spec: JobSpec) -> Job:
+        """Queue *spec*; returns immediately with the (possibly shared) job.
+
+        Identical in-flight submissions coalesce: the returned job may
+        already be computing on behalf of an earlier submitter, and both
+        observe the single result.
+        """
+        return self.submit_detailed(spec)[0]
+
+    def submit_detailed(self, spec: JobSpec) -> Tuple[Job, bool]:
+        """:meth:`submit`, also reporting whether *this* call coalesced.
+
+        The flag comes straight from the queue's atomic submit — callers
+        (the HTTP handler) must not infer it from shared counters, which
+        race under concurrent submissions.
+        """
+        with self._lock:
+            loop = self._loop
+        if loop is None:
+            raise ServiceError("service is not running; call start() first")
+        if spec.backend is None and self.default_backend is not None:
+            spec = dataclasses.replace(spec, backend=self.default_backend)
+        job, created = self.queue.submit(spec)
+        if created:
+            future = asyncio.run_coroutine_threadsafe(
+                self._run_job(job), loop)
+            with self._lock:
+                self._futures.append(future)
+        return job, not created
+
+    def run(self, spec: JobSpec,
+            timeout: Optional[float] = None) -> Job:
+        """Submit and block until the job settles (convenience)."""
+        job = self.submit(spec)
+        if not job.wait(timeout):
+            raise TimeoutError(f"job {job.id} did not settle in {timeout}s")
+        return job
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    async def _run_job(self, job: Job) -> None:
+        assert self._semaphore is not None
+        async with self._semaphore:
+            await asyncio.to_thread(self._execute, job)
+
+    def _execute(self, job: Job) -> None:
+        self.queue.mark_running(job)
+
+        def monitor(design: str, done: int, total: int) -> None:
+            job.progress[design] = {"done": done, "total": total}
+
+        try:
+            report = run_scenario(
+                job.spec.scenario,
+                flow_cache=self.tier.flow_store if self.tier else None,
+                progress_callback=monitor,
+                **job.spec.overrides())
+        except Exception as exc:
+            tail = traceback.format_exception_only(type(exc), exc)[-1].strip()
+            self.queue.fail(job, tail)
+        else:
+            self.queue.finish(job, report)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until every submitted job has settled."""
+        with self._lock:
+            futures = list(self._futures)
+        deadline: Optional[float] = None
+        if timeout is not None:
+            deadline = time.monotonic() + timeout
+        for future in futures:
+            remaining: Optional[float] = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            try:
+                future.result(timeout=remaining)
+            except Exception:
+                # Job failures are recorded on the job itself.
+                pass
+        return all(job.done_event.is_set() for job in self.queue.jobs())
+
+    def stats(self) -> Dict[str, object]:
+        out: Dict[str, object] = {"queue": self.queue.stats(),
+                                  "max_parallel": self.max_parallel,
+                                  "default_backend": self.default_backend}
+        if self.tier is not None:
+            out["tier"] = self.tier.summary()
+        return out

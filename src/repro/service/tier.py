@@ -1,0 +1,399 @@
+"""Shared warm-cache tier: one persistent store for every campaign artefact.
+
+PR 3 made place-and-route artifacts persistent
+(:class:`~repro.pnr.artifacts.FlowArtifactStore`); golden traces and
+static defeat maps stayed memoized *in process only*
+(:mod:`repro.faults.cache` / :mod:`repro.analysis.layout`), so every new
+process — every service worker, every CI job, every benchmark — rebuilt
+them from scratch.  This module unifies all three under one directory:
+
+.. code-block:: text
+
+    <root>/flow/...                 place-and-route implementations
+    <root>/golden/<aa>/<key>.pkl    golden traces (+ overlay-free program)
+    <root>/defeat-map/<aa>/<key>.pkl  static defeat maps
+    <root>/fault-list/<aa>/<key>.pkl  enumerated injectable-bit lists
+
+* :class:`PersistentStore` — namespaced pickle store with atomic writes
+  (temp file + ``os.replace``), version-checked payloads, and corrupt
+  entries evicted as misses — the same durability contract as the flow
+  store.
+* :class:`SharedCacheTier` — the facade the service (and, through the
+  process-wide *active tier*, the campaign cache and the layout
+  analyzer) reads and writes.  Size-bounded LRU eviction runs over the
+  whole tier: every ``.pkl`` under the root counts against ``max_bytes``
+  and the least-recently-*used* files go first (reads refresh mtimes).
+
+Artefact keys chain on the implementation fingerprint
+(:func:`repro.faults.cache.implementation_fingerprint`), so two
+campaigns over bit-identical implementations share entries while any
+bitstream change forms new ones.  Identity of the simulated *content*
+is therefore exact; the stores never serve a stale artefact.
+
+The **active tier** is an explicit, process-wide hook: the campaign
+cache and ``defeat_map_for`` consult :func:`active_tier` on an
+in-memory miss and write through on a compute.  It is off by default
+(plain library use keeps the PR 1-6 behaviour bit for bit); the service
+activates it, and ``REPRO_CACHE_TIER=<dir>`` activates it for ad-hoc
+CLI runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import tempfile
+import threading
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..pnr.artifacts import FlowArtifactStore
+
+#: Bump when a persisted payload's layout changes; old entries then miss
+#: instead of resurrecting incompatible pickles.
+TIER_VERSION = "tier-1"
+
+#: Default eviction budget: generous for laptops, bounded for CI caches.
+DEFAULT_MAX_BYTES = 512 * 1024 * 1024
+
+#: Namespaces managed by the tier (also the subdirectory names).
+GOLDEN_NAMESPACE = "golden"
+DEFEAT_MAP_NAMESPACE = "defeat-map"
+FAULT_LIST_NAMESPACE = "fault-list"
+FLOW_NAMESPACE = "flow"
+
+_PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+
+@dataclasses.dataclass
+class TierStats:
+    """Hit/miss/store counters of one :class:`SharedCacheTier`."""
+
+    golden_hits: int = 0
+    golden_misses: int = 0
+    golden_stores: int = 0
+    defeat_map_hits: int = 0
+    defeat_map_misses: int = 0
+    defeat_map_stores: int = 0
+    fault_list_hits: int = 0
+    fault_list_misses: int = 0
+    fault_list_stores: int = 0
+    corrupt_evictions: int = 0
+    lru_evictions: int = 0
+    bytes_evicted: int = 0
+    store_failures: int = 0
+
+    def __post_init__(self) -> None:
+        # Counters are bumped from concurrent service jobs; a bare
+        # ``+= 1`` is a read-modify-write that loses updates under
+        # threads.  The lock is a plain attribute (not a field), so
+        # ``dataclasses.asdict`` never tries to copy it.
+        self.lock = threading.Lock()
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        with self.lock:
+            setattr(self, counter, getattr(self, counter) + amount)
+
+    def as_dict(self) -> Dict[str, int]:
+        with self.lock:
+            return dataclasses.asdict(self)
+
+    def hit_rate(self) -> float:
+        """Aggregate artefact hit rate (flow-store hits tracked separately)."""
+        hits = self.golden_hits + self.defeat_map_hits \
+            + self.fault_list_hits
+        total = hits + self.golden_misses + self.defeat_map_misses \
+            + self.fault_list_misses
+        return hits / total if total else 0.0
+
+
+class PersistentStore:
+    """Namespaced on-disk pickle store with the flow store's durability.
+
+    Payloads travel inside a ``{"version", "namespace", "key", "payload"}``
+    envelope; version or key mismatches (a foreign or renamed file) and
+    unpicklable garbage are evicted and treated as misses, so an
+    interrupted writer can never poison later readers.  Writes are atomic
+    (temp file in the target directory + ``os.replace``).
+    """
+
+    def __init__(self, root: Union[str, Path],
+                 stats: Optional[TierStats] = None) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = stats if stats is not None else TierStats()
+
+    def path_of(self, namespace: str, key: str) -> Path:
+        return self.root / namespace / key[:2] / f"{key}.pkl"
+
+    def load(self, namespace: str, key: str) -> Optional[object]:
+        path = self.path_of(namespace, key)
+        try:
+            with open(path, "rb") as handle:
+                envelope = pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            self._evict(path)
+            return None
+        if not isinstance(envelope, dict) \
+                or envelope.get("version") != TIER_VERSION \
+                or envelope.get("namespace") != namespace \
+                or envelope.get("key") != key:
+            self._evict(path)
+            return None
+        try:
+            # Refresh recency so LRU eviction spares warm entries.
+            os.utime(path)
+        except OSError:
+            pass
+        return envelope["payload"]
+
+    def store(self, namespace: str, key: str, payload: object) -> bool:
+        path = self.path_of(namespace, key)
+        envelope = {
+            "version": TIER_VERSION,
+            "namespace": namespace,
+            "key": key,
+            "payload": payload,
+        }
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            handle = tempfile.NamedTemporaryFile(
+                dir=path.parent, prefix=f".{key[:8]}.", suffix=".tmp",
+                delete=False)
+            try:
+                with handle:
+                    pickle.dump(envelope, handle, protocol=_PICKLE_PROTOCOL)
+                os.replace(handle.name, path)
+            except BaseException:
+                os.unlink(handle.name)
+                raise
+        except Exception:
+            # A read-only or full disk must never fail the computation
+            # the artefact came from; it is merely not persisted.
+            self.stats.bump("store_failures")
+            return False
+        return True
+
+    def _evict(self, path: Path) -> None:
+        try:
+            path.unlink()
+            self.stats.bump("corrupt_evictions")
+        except OSError:
+            pass
+
+
+def _stimulus_digest(stimulus_key: Tuple) -> str:
+    """Stable digest of a :func:`repro.faults.cache.stimulus_key` tuple.
+
+    The key is built from sorted (name, int/tuple-of-int) pairs, whose
+    ``repr`` is deterministic across processes and hash seeds.
+    """
+    return hashlib.sha1(repr(stimulus_key).encode()).hexdigest()
+
+
+class SharedCacheTier:
+    """The unified persistent artefact tier of the campaign service."""
+
+    def __init__(self, root: Union[str, Path],
+                 max_bytes: int = DEFAULT_MAX_BYTES) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
+        self.stats = TierStats()
+        self._store = PersistentStore(self.root, stats=self.stats)
+        self._flow: Optional[FlowArtifactStore] = None
+        #: serializes eviction scans (reads/writes need no lock: atomic
+        #: replace + corrupt-entry eviction already tolerate races)
+        self._evict_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    @property
+    def flow_store(self) -> FlowArtifactStore:
+        """The place-and-route artifact store living inside this tier."""
+        if self._flow is None:
+            self._flow = FlowArtifactStore(self.root / FLOW_NAMESPACE)
+        return self._flow
+
+    # ------------------------------------------------------------------
+    def golden_key(self, fingerprint: str, stimulus_key: Tuple) -> str:
+        return f"{fingerprint}-{_stimulus_digest(stimulus_key)}"
+
+    def load_golden(self, fingerprint: str, stimulus_key: Tuple
+                    ) -> Optional[Tuple[object, object]]:
+        """The persisted ``(golden trace, overlay-free program)`` pair."""
+        payload = self._store.load(
+            GOLDEN_NAMESPACE, self.golden_key(fingerprint, stimulus_key))
+        if payload is None:
+            self.stats.bump("golden_misses")
+            return None
+        self.stats.bump("golden_hits")
+        return payload
+
+    def store_golden(self, fingerprint: str, stimulus_key: Tuple,
+                     trace: object, program: object) -> bool:
+        ok = self._store.store(
+            GOLDEN_NAMESPACE, self.golden_key(fingerprint, stimulus_key),
+            (trace, program))
+        if ok:
+            self.stats.bump("golden_stores")
+            self.enforce_budget()
+        return ok
+
+    # ------------------------------------------------------------------
+    def defeat_map_key(self, fingerprint: str, mode: str) -> str:
+        return f"{fingerprint}-{mode}"
+
+    def load_defeat_map(self, fingerprint: str, mode: str):
+        payload = self._store.load(DEFEAT_MAP_NAMESPACE,
+                                   self.defeat_map_key(fingerprint, mode))
+        if payload is None:
+            self.stats.bump("defeat_map_misses")
+            return None
+        self.stats.bump("defeat_map_hits")
+        return payload
+
+    def store_defeat_map(self, fingerprint: str, mode: str,
+                         defeat_map: object) -> bool:
+        ok = self._store.store(DEFEAT_MAP_NAMESPACE,
+                               self.defeat_map_key(fingerprint, mode),
+                               defeat_map)
+        if ok:
+            self.stats.bump("defeat_map_stores")
+            self.enforce_budget()
+        return ok
+
+    # ------------------------------------------------------------------
+    def fault_list_key(self, fingerprint: str, mode: str) -> str:
+        return f"{fingerprint}-{mode}"
+
+    def load_fault_list(self, fingerprint: str, mode: str):
+        """The persisted enumerated fault list (injectable bits) of a design.
+
+        Enumerating the injectable configuration bits walks every used
+        routing node's candidate PIPs — by far the largest
+        fault-count-independent cost of a warm campaign — yet the result
+        is pure data fully determined by ``(fingerprint, mode)``.
+        """
+        payload = self._store.load(FAULT_LIST_NAMESPACE,
+                                   self.fault_list_key(fingerprint, mode))
+        if payload is None:
+            self.stats.bump("fault_list_misses")
+            return None
+        self.stats.bump("fault_list_hits")
+        return payload
+
+    def store_fault_list(self, fingerprint: str, mode: str,
+                         fault_list: object) -> bool:
+        ok = self._store.store(FAULT_LIST_NAMESPACE,
+                               self.fault_list_key(fingerprint, mode),
+                               fault_list)
+        if ok:
+            self.stats.bump("fault_list_stores")
+            self.enforce_budget()
+        return ok
+
+    # ------------------------------------------------------------------
+    def _entries(self) -> Iterable[Tuple[Path, os.stat_result]]:
+        for path in self.root.glob("**/*.pkl"):
+            try:
+                yield path, path.stat()
+            except OSError:
+                continue
+
+    def total_bytes(self) -> int:
+        return sum(stat.st_size for _path, stat in self._entries())
+
+    def enforce_budget(self) -> int:
+        """Evict least-recently-used entries down to ``max_bytes``.
+
+        Covers every namespace including the flow store (its entries are
+        content-addressed, so deletion is always safe — a later reader
+        simply recomputes).  Returns the number of evicted files.
+        """
+        with self._evict_lock:
+            entries: List[Tuple[float, int, Path]] = [
+                (stat.st_mtime, stat.st_size, path)
+                for path, stat in self._entries()]
+            total = sum(size for _mtime, size, _path in entries)
+            if total <= self.max_bytes:
+                return 0
+            evicted = 0
+            for _mtime, size, path in sorted(entries):
+                if total <= self.max_bytes:
+                    break
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                total -= size
+                evicted += 1
+                self.stats.bump("lru_evictions")
+                self.stats.bump("bytes_evicted", size)
+            return evicted
+
+    def clear(self) -> None:
+        for path, _stat in list(self._entries()):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "root": str(self.root),
+            "max_bytes": self.max_bytes,
+            "total_bytes": self.total_bytes(),
+            "hit_rate": round(self.stats.hit_rate(), 4),
+            "stats": self.stats.as_dict(),
+            "flow": self.flow_store.stats.as_dict(),
+        }
+
+
+# ----------------------------------------------------------------------
+# Process-wide active tier
+# ----------------------------------------------------------------------
+TierLike = Union[None, str, Path, SharedCacheTier]
+
+_ACTIVE_TIER: Optional[SharedCacheTier] = None
+_ENV_CHECKED = False
+
+#: Environment knob: point it at a directory to activate a shared tier
+#: for plain CLI/benchmark runs without touching any call site.
+TIER_ENV_VAR = "REPRO_CACHE_TIER"
+
+
+def resolve_tier(tier: TierLike) -> Optional[SharedCacheTier]:
+    """Normalize a ``cache_tier=`` knob (``None`` stays ``None``)."""
+    if tier is None:
+        return None
+    if isinstance(tier, SharedCacheTier):
+        return tier
+    return SharedCacheTier(tier)
+
+
+def activate_tier(tier: TierLike) -> Optional[SharedCacheTier]:
+    """Install *tier* as the process-wide read-through/write-through tier."""
+    global _ACTIVE_TIER, _ENV_CHECKED
+    _ACTIVE_TIER = resolve_tier(tier)
+    _ENV_CHECKED = True
+    return _ACTIVE_TIER
+
+
+def deactivate_tier() -> None:
+    """Remove the active tier (also disables the env-var fallback probe)."""
+    activate_tier(None)
+
+
+def active_tier() -> Optional[SharedCacheTier]:
+    """The process-wide tier, if one was activated (or set via env)."""
+    global _ACTIVE_TIER, _ENV_CHECKED
+    if _ACTIVE_TIER is None and not _ENV_CHECKED:
+        _ENV_CHECKED = True
+        root = os.environ.get(TIER_ENV_VAR)
+        if root:
+            _ACTIVE_TIER = SharedCacheTier(root)
+    return _ACTIVE_TIER

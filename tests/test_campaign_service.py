@@ -1,0 +1,502 @@
+"""Tests of the campaign service: queue, tier, orchestrator, HTTP, seeds.
+
+The heavy campaign content is covered by the engine/pipeline suites; here
+every scenario run uses the ``tiny`` scale so the service's *semantics* —
+lifecycle, in-flight coalescing, tier persistence, failure surfacing,
+report identity with a direct ``run_scenario`` call — are exercised end
+to end in seconds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro import pipeline
+from repro.faults import (CampaignConfig, CampaignWorkerError,
+                          ShardedBackend, clear_cache, derive_seed,
+                          run_campaign, split_shards, substream)
+from repro.faults.fault_list import FaultList
+from repro.pipeline import stable_report
+from repro.scenarios import run_scenario, scenario_by_name
+from repro.service import (CampaignService, JobQueue, JobSpec, JobState,
+                           SharedCacheTier, activate_tier, active_tier,
+                           deactivate_tier, job_fingerprint)
+from repro.service.httpd import (fetch_job, fetch_report, fetch_stats,
+                                 make_server, submit_job, wait_for_job)
+from repro.service.tier import TIER_VERSION, PersistentStore
+
+
+@pytest.fixture(autouse=True)
+def no_ambient_tier():
+    """Every test starts and ends without a process-wide tier."""
+    deactivate_tier()
+    yield
+    deactivate_tier()
+
+
+def tiny_spec(**overrides) -> JobSpec:
+    defaults = dict(scale="tiny", num_faults=30, designs=("standard",))
+    defaults.update(overrides)
+    return JobSpec("table3-fir", **defaults)
+
+
+def _die_in_worker(shard):
+    # Module-level so the executor can pickle it by reference; a test-local
+    # closure would fail to serialize instead of exercising the crash path.
+    os._exit(13)
+
+
+# ----------------------------------------------------------------------
+# Seed derivation (the sharded-worker reproducibility contract)
+# ----------------------------------------------------------------------
+class TestSeeds:
+    def test_derive_seed_is_stable(self):
+        # Pinned values: changing the derivation silently re-randomizes
+        # every recorded oversampled draw (treat like a tool-version bump).
+        assert derive_seed(2005, "oversample") == 8090250657571724634
+        assert derive_seed(7, "shard", 3) == 241020708290790905
+
+    def test_derive_seed_pure_and_distinct(self):
+        assert derive_seed(1, "a") == derive_seed(1, "a")
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+        # Labeled substreams never track the raw seed.
+        assert derive_seed(1, "a") != 1
+
+    def test_substream_independent_of_raw_stream(self):
+        import random
+
+        raw = random.Random(5)
+        labeled = substream(5, "oversample")
+        assert [raw.random() for _ in range(4)] != \
+            [labeled.random() for _ in range(4)]
+
+    @pytest.mark.parametrize("count,shards", [
+        (0, 1), (1, 1), (5, 2), (10, 3), (10, 10), (3, 8), (100, 7)])
+    def test_split_shards_cover_and_disjoint(self, count, shards):
+        ranges = split_shards(count, shards)
+        flattened = [i for start, stop in ranges for i in range(start, stop)]
+        assert flattened == list(range(count))
+        sizes = [stop - start for start, stop in ranges]
+        if count:
+            assert max(sizes) - min(sizes) <= 1
+
+    def test_split_shards_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            split_shards(10, 0)
+
+    def test_oversample_reproducible_and_covering(self):
+        fault_list = FaultList(mode="design", bits=list(range(10, 20)),
+                               composition={"lut": 10})
+        draw = fault_list.sample(25, seed=42)
+        again = fault_list.sample(25, seed=42)
+        assert draw == again
+        # The whole population appears once before the replacement tail.
+        assert draw[:10] == fault_list.bits
+        assert set(draw[10:]) <= set(fault_list.bits)
+        # The tail rides a labeled substream, not the raw seed.
+        assert fault_list.sample(25, seed=43) != draw
+        # Below the population size the draw matches the seed semantics.
+        import random
+
+        assert fault_list.sample(4, seed=42) == \
+            random.Random(42).sample(fault_list.bits, 4)
+
+
+# ----------------------------------------------------------------------
+# The persistent tier
+# ----------------------------------------------------------------------
+class TestSharedCacheTier:
+    def test_golden_and_defeat_map_and_fault_list_round_trip(self, tmp_path):
+        tier = SharedCacheTier(tmp_path)
+        key = (("i", (1, 2)),)
+        assert tier.load_golden("fp", key) is None
+        assert tier.store_golden("fp", key, {"trace": 1}, {"program": 2})
+        assert tier.load_golden("fp", key) == ({"trace": 1}, {"program": 2})
+
+        assert tier.load_defeat_map("fp", "design") is None
+        assert tier.store_defeat_map("fp", "design", {"map": 3})
+        assert tier.load_defeat_map("fp", "design") == {"map": 3}
+
+        assert tier.load_fault_list("fp", "design") is None
+        fault_list = FaultList(mode="design", bits=[4, 5],
+                               composition={"lut": 2})
+        assert tier.store_fault_list("fp", "design", fault_list)
+        assert tier.load_fault_list("fp", "design") == fault_list
+
+        stats = tier.stats.as_dict()
+        assert stats["golden_hits"] == stats["golden_misses"] == 1
+        assert stats["defeat_map_stores"] == 1
+        assert stats["fault_list_hits"] == 1
+        assert tier.stats.hit_rate() == 0.5
+
+    def test_reload_from_second_store_instance(self, tmp_path):
+        SharedCacheTier(tmp_path).store_defeat_map("fp", "design", [1, 2])
+        assert SharedCacheTier(tmp_path).load_defeat_map(
+            "fp", "design") == [1, 2]
+
+    def test_corrupt_entry_evicted_as_miss(self, tmp_path):
+        tier = SharedCacheTier(tmp_path)
+        tier.store_golden("fp", ("k",), "trace", "program")
+        path = tier._store.path_of("golden", tier.golden_key("fp", ("k",)))
+        path.write_bytes(b"not a pickle")
+        assert tier.load_golden("fp", ("k",)) is None
+        assert not path.exists()
+        assert tier.stats.corrupt_evictions == 1
+
+    def test_version_mismatch_evicted_as_miss(self, tmp_path, monkeypatch):
+        store = PersistentStore(tmp_path)
+        store.store("golden", "key", "payload")
+        monkeypatch.setattr("repro.service.tier.TIER_VERSION",
+                            TIER_VERSION + "-next")
+        assert store.load("golden", "key") is None
+        assert not store.path_of("golden", "key").exists()
+
+    def test_foreign_key_evicted_as_miss(self, tmp_path):
+        store = PersistentStore(tmp_path)
+        store.store("golden", "key-a", "payload")
+        source = store.path_of("golden", "key-a")
+        target = store.path_of("golden", "ke-renamed")
+        target.parent.mkdir(parents=True, exist_ok=True)
+        source.rename(target)
+        assert store.load("golden", "ke-renamed") is None
+        assert not target.exists()
+
+    def test_lru_eviction_spares_recently_used(self, tmp_path):
+        tier = SharedCacheTier(tmp_path, max_bytes=10 ** 9)
+        for index in range(3):
+            tier.store_defeat_map("fp", f"mode{index}", b"x" * 2000)
+        # Deterministic recency: mode0 oldest, mode2 newest.
+        now = time.time()
+        for index in range(3):
+            path = tier._store.path_of(
+                "defeat-map", tier.defeat_map_key("fp", f"mode{index}"))
+            os.utime(path, (now - 100 + index, now - 100 + index))
+        tier.max_bytes = 2 * tier.total_bytes() // 3
+        assert tier.enforce_budget() >= 1
+        assert tier.load_defeat_map("fp", "mode0") is None
+        assert tier.load_defeat_map("fp", "mode2") is not None
+        assert tier.stats.lru_evictions >= 1
+        assert tier.stats.bytes_evicted > 0
+
+    def test_load_refreshes_recency(self, tmp_path):
+        tier = SharedCacheTier(tmp_path)
+        tier.store_defeat_map("fp", "old-but-hot", [1])
+        tier.store_defeat_map("fp", "cold", [2])
+        now = time.time()
+        for mode, age in (("old-but-hot", 200), ("cold", 100)):
+            path = tier._store.path_of(
+                "defeat-map", tier.defeat_map_key("fp", mode))
+            os.utime(path, (now - age, now - age))
+        assert tier.load_defeat_map("fp", "old-but-hot") is not None
+        tier.max_bytes = tier.total_bytes() - 1
+        tier.enforce_budget()
+        # The refreshed entry survived; the untouched one was evicted.
+        assert tier.load_defeat_map("fp", "old-but-hot") is not None
+        assert tier.load_defeat_map("fp", "cold") is None
+
+    def test_store_failure_is_silent(self, tmp_path, monkeypatch):
+        tier = SharedCacheTier(tmp_path)
+        monkeypatch.setattr(os, "replace",
+                            lambda *a, **k: (_ for _ in ()).throw(
+                                OSError("disk full")))
+        assert not tier.store_defeat_map("fp", "design", [1])
+        assert tier.stats.store_failures == 1
+
+    def test_activate_and_deactivate(self, tmp_path):
+        assert active_tier() is None
+        tier = activate_tier(tmp_path)
+        assert isinstance(tier, SharedCacheTier)
+        assert active_tier() is tier
+        deactivate_tier()
+        assert active_tier() is None
+
+
+class TestTierReadThrough:
+    """The campaign cache serves fault lists and golden traces from the
+    tier across a simulated process restart."""
+
+    def test_campaign_artifacts_survive_restart(self, tmp_path,
+                                                tiny_fir_implementation):
+        config = CampaignConfig(num_faults=25, workload_cycles=6, seed=9)
+        tier = SharedCacheTier(tmp_path)
+        activate_tier(tier)
+
+        clear_cache()
+        first = run_campaign(tiny_fir_implementation, config,
+                             backend="batch")
+        assert tier.stats.fault_list_stores == 1
+        assert tier.stats.golden_stores == 1
+
+        clear_cache()  # the restart: only the tier survives
+        second = run_campaign(tiny_fir_implementation, config,
+                              backend="batch")
+        assert tier.stats.fault_list_hits == 1
+        assert tier.stats.golden_hits == 1
+        assert second.wrong_answers == first.wrong_answers
+        assert second.effect_table() == first.effect_table()
+
+        # Without the tier the same restart recomputes from scratch and
+        # must agree — the tier never changes results, only costs.
+        deactivate_tier()
+        clear_cache()
+        fresh = run_campaign(tiny_fir_implementation, config,
+                             backend="batch")
+        assert fresh.wrong_answers == first.wrong_answers
+        assert fresh.effect_table() == first.effect_table()
+
+
+# ----------------------------------------------------------------------
+# Job specs, fingerprints, queue
+# ----------------------------------------------------------------------
+class TestJobSpec:
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown job spec fields"):
+            JobSpec.from_dict({"scenario": "table3-fir", "bogus": 1})
+
+    def test_from_dict_requires_scenario(self):
+        with pytest.raises(ValueError, match="scenario"):
+            JobSpec.from_dict({"scale": "tiny"})
+
+    def test_round_trip_preserves_designs_tuple(self):
+        spec = tiny_spec(designs=["standard", "TMR_p2"])
+        assert spec.designs == ("standard", "TMR_p2")
+        again = JobSpec.from_dict(json.loads(json.dumps(spec.as_dict())))
+        assert again == spec
+
+    def test_fingerprint_collapses_explicit_defaults(self):
+        scenario = scenario_by_name("table3-fir")
+        assert job_fingerprint(JobSpec("table3-fir")) == job_fingerprint(
+            JobSpec("table3-fir", scale=scenario.scale,
+                    seed=scenario.seed))
+
+    def test_fingerprint_separates_real_differences(self):
+        base = tiny_spec()
+        assert job_fingerprint(base) != job_fingerprint(
+            dataclasses.replace(base, seed=123))
+        assert job_fingerprint(base) != job_fingerprint(
+            dataclasses.replace(base, designs=("TMR_p2",)))
+
+    def test_unknown_scenario_raises_at_fingerprint_time(self):
+        with pytest.raises(KeyError):
+            job_fingerprint(JobSpec("no-such-scenario"))
+
+
+class TestJobQueue:
+    def test_lifecycle(self):
+        queue = JobQueue()
+        job, created = queue.submit(tiny_spec())
+        assert created and job.state == JobState.PENDING
+        queue.mark_running(job)
+        assert job.state == JobState.RUNNING
+        queue.finish(job, {"ok": True})
+        assert job.state == JobState.DONE
+        assert job.report == {"ok": True}
+        assert job.done_event.is_set()
+        assert job.elapsed() is not None
+
+    def test_in_flight_coalescing(self):
+        queue = JobQueue()
+        first, created_first = queue.submit(tiny_spec())
+        second, created_second = queue.submit(tiny_spec())
+        assert created_first and not created_second
+        assert first is second
+        assert first.submissions == 2
+        assert queue.coalesced == 1
+        third, created_third = queue.submit(tiny_spec(seed=99))
+        assert created_third and third is not first
+
+    def test_finished_jobs_do_not_absorb(self):
+        queue = JobQueue()
+        job, _created = queue.submit(tiny_spec())
+        queue.finish(job, {})
+        again, created = queue.submit(tiny_spec())
+        assert created and again is not job
+
+    def test_failed_job_records_error(self):
+        queue = JobQueue()
+        job, _created = queue.submit(tiny_spec())
+        queue.fail(job, "boom")
+        assert job.state == JobState.FAILED
+        assert job.error == "boom"
+        assert queue.stats()["by_state"][JobState.FAILED] == 1
+
+
+# ----------------------------------------------------------------------
+# The sharded execution backend
+# ----------------------------------------------------------------------
+class TestShardedBackend:
+    CONFIG = CampaignConfig(num_faults=60, workload_cycles=6, seed=9)
+
+    def test_matches_serial_with_real_workers(self,
+                                              tiny_fir_implementation):
+        serial = run_campaign(tiny_fir_implementation, self.CONFIG,
+                              backend="serial")
+        backend = ShardedBackend(workers=2, min_tasks=0)
+        sharded = run_campaign(tiny_fir_implementation, self.CONFIG,
+                               backend=backend)
+        assert not backend.last_run_stats.get("inline")
+        assert sharded.wrong_answers == serial.wrong_answers
+        assert sharded.injected == serial.injected
+        assert sharded.effect_table() == serial.effect_table()
+
+    def test_small_campaigns_fall_back_inline(self,
+                                              tiny_fir_implementation):
+        backend = ShardedBackend(workers=2)  # default min_tasks=1000
+        result = run_campaign(tiny_fir_implementation, self.CONFIG,
+                              backend=backend)
+        assert backend.last_run_stats["inline"]
+        assert backend.name == "sharded:inline-fallback"
+        serial = run_campaign(tiny_fir_implementation, self.CONFIG,
+                              backend="serial")
+        assert result.effect_table() == serial.effect_table()
+
+    def test_killed_worker_surfaces_not_hangs(self, tiny_fir_implementation,
+                                              monkeypatch):
+        from repro.faults import engine
+
+        monkeypatch.setattr(engine, "_run_task_shard", _die_in_worker)
+        backend = ShardedBackend(workers=2, min_tasks=0)
+        with pytest.raises(CampaignWorkerError, match="worker died"):
+            run_campaign(tiny_fir_implementation, self.CONFIG,
+                         backend=backend)
+
+
+# ----------------------------------------------------------------------
+# The orchestrator
+# ----------------------------------------------------------------------
+class TestCampaignService:
+    def test_job_runs_to_done_with_report(self, tmp_path):
+        with CampaignService(tier=tmp_path / "tier") as service:
+            job = service.run(tiny_spec(), timeout=300)
+            assert job.state == JobState.DONE
+            assert job.report["schema"] == "repro.scenario-report/1"
+            assert job.report["backend"].startswith("sharded")
+            assert "standard" in job.report["designs"]
+            assert job.progress  # the monitor callback fed live progress
+            json.dumps(job.snapshot())  # snapshots are JSON-safe
+
+    def test_report_identical_to_direct_run_scenario(self, tmp_path):
+        with CampaignService(tier=tmp_path / "tier") as service:
+            job = service.run(tiny_spec(), timeout=300)
+        deactivate_tier()
+        direct = run_scenario("table3-fir", scale="tiny", num_faults=30,
+                              designs=("standard",), backend="sharded")
+        assert stable_report(job.report) == stable_report(direct)
+
+    def test_in_flight_submissions_coalesce(self, tmp_path):
+        # One slot + a blocker guarantees the identical pair is still
+        # pending when the second submission lands.
+        with CampaignService(tier=tmp_path / "tier",
+                             max_parallel=1) as service:
+            blocker = service.submit(tiny_spec(seed=7))
+            first = service.submit(tiny_spec())
+            second = service.submit(tiny_spec())
+            assert first is second
+            assert first.submissions == 2
+            assert service.queue.coalesced == 1
+            assert service.wait(timeout=300)
+            assert blocker.state == first.state == JobState.DONE
+            # Settled jobs never absorb: the same spec now starts fresh.
+            fresh = service.submit(tiny_spec())
+            assert fresh is not first
+            assert fresh.wait(timeout=300)
+            assert stable_report(fresh.report) == \
+                stable_report(first.report)
+
+    def test_failed_job_surfaces_error(self, tmp_path):
+        with CampaignService(tier=tmp_path / "tier") as service:
+            job = service.run(tiny_spec(designs=("no-such-design",)),
+                              timeout=300)
+            assert job.state == JobState.FAILED
+            assert "no-such-design" in job.error
+
+    def test_dead_sharded_worker_fails_job_without_hanging(
+            self, tmp_path, monkeypatch):
+        from repro.service import orchestrator
+
+        def crash(*args, **kwargs):
+            raise CampaignWorkerError(
+                "a sharded campaign worker died after 0/30 verdicts")
+
+        monkeypatch.setattr(orchestrator, "run_scenario", crash)
+        with CampaignService(tier=tmp_path / "tier") as service:
+            job = service.run(tiny_spec(), timeout=60)
+            assert job.state == JobState.FAILED
+            assert "worker died" in job.error
+
+    def test_submit_requires_started_service(self):
+        service = CampaignService()
+        with pytest.raises(Exception, match="not running"):
+            service.submit(tiny_spec())
+
+    def test_stats_expose_queue_and_tier(self, tmp_path):
+        with CampaignService(tier=tmp_path / "tier") as service:
+            service.run(tiny_spec(), timeout=300)
+            stats = service.stats()
+            assert stats["queue"]["jobs"] == 1
+            assert stats["default_backend"] == "sharded"
+            assert "stats" in stats["tier"]
+
+
+# ----------------------------------------------------------------------
+# The HTTP surface
+# ----------------------------------------------------------------------
+class TestHttpApi:
+    @pytest.fixture()
+    def served(self, tmp_path):
+        service = CampaignService(tier=tmp_path / "tier").start()
+        server = make_server(service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        try:
+            yield service, f"http://{host}:{port}"
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.stop()
+
+    def test_submit_wait_report_round_trip(self, served):
+        service, url = served
+        snapshot = submit_job(url, tiny_spec().as_dict())
+        assert snapshot["state"] in (JobState.PENDING, JobState.RUNNING)
+        assert snapshot["coalesced"] is False
+        final = wait_for_job(url, snapshot["id"], timeout=300)
+        assert final["state"] == JobState.DONE
+        report = fetch_report(url, snapshot["id"])
+        assert report == service.queue.get(snapshot["id"]).report
+        stats = fetch_stats(url)
+        assert stats["queue"]["jobs"] == 1
+        listing = fetch_job(url, snapshot["id"])
+        assert listing["id"] == snapshot["id"]
+
+    def test_duplicate_submission_reports_coalesced(self, served):
+        _service, url = served
+        blocker = submit_job(url, tiny_spec(seed=7).as_dict())
+        first = submit_job(url, tiny_spec().as_dict())
+        second = submit_job(url, tiny_spec().as_dict())
+        assert second["id"] == first["id"]
+        assert second["coalesced"] is True
+        assert second["submissions"] == 2
+        for job_id in (blocker["id"], first["id"]):
+            assert wait_for_job(url, job_id,
+                                timeout=300)["state"] == JobState.DONE
+
+    def test_bad_spec_is_rejected(self, served):
+        _service, url = served
+        with pytest.raises(RuntimeError, match="unknown job spec fields"):
+            submit_job(url, {"scenario": "table3-fir", "bogus": 1})
+        with pytest.raises(RuntimeError, match="unknown scenario"):
+            submit_job(url, {"scenario": "no-such-scenario"})
+
+    def test_unknown_job_is_404(self, served):
+        _service, url = served
+        with pytest.raises(RuntimeError, match="404"):
+            fetch_job(url, "job-9999")
