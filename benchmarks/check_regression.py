@@ -23,8 +23,13 @@ normalized speedup regresses by more than the tolerance:
   ``--service-baseline/--service-current``) — the campaign service's
   ``warm_vs_cold_speedup`` (ratio-compared against the baseline and held
   to an absolute floor), the warm wave's tier hit rate and jobs/sec
-  floors, and the coalescing proof (identical submissions must dedup to
-  one computation with bit-identical reports);
+  floors, the coalescing proof (identical submissions must dedup to
+  one computation with bit-identical reports), and — when the baseline
+  carries a ``recovery`` section — the crash-recovery gates
+  (``--service-recovery-*``): journal replay must recover the crashed
+  job, the resumed run must reload shard checkpoints and reproduce the
+  uninterrupted report bit for bit, and the seeded worker kill must be
+  absorbed by a supervised retry;
 * pipeline-stage cache reuse (optional, via ``--pipeline-report``, one or
   more warm-run JSON reports from ``python -m repro run ... --repeat 2``)
   — the implement stage must be served entirely from the flow store and
@@ -243,6 +248,56 @@ def check_service(baseline: dict, current: dict, tolerance: float,
     return problems
 
 
+def check_recovery(baseline: dict, current: dict,
+                   min_resume_speedup: float = 1.0,
+                   min_checkpoint_hits: int = 1) -> list:
+    """Crash-recovery gate for the BENCH_service.json ``recovery`` row.
+
+    Only enforced when the committed baseline carries a ``recovery``
+    section (reports written before the crash-safety work pass
+    untouched).  The identity bits are hard correctness gates — a resumed
+    or worker-kill run whose report diverges from the uninterrupted
+    reference is a bug, never noise; the resume speedup is wall-clock
+    and therefore only held to a relaxable floor (default: resuming must
+    not be *slower* than cold).
+    """
+    if "recovery" not in baseline:
+        return []
+    recovery = current.get("recovery")
+    if recovery is None:
+        return ["service recovery: section missing from the current "
+                "report (baseline has one)"]
+    problems = []
+    if not recovery.get("resume_identical", False):
+        problems.append("service recovery: resumed report diverged from "
+                        "the uninterrupted reference")
+    worker_kill = recovery.get("worker_kill", {})
+    if not worker_kill.get("report_identical", False):
+        problems.append("service recovery: worker-kill report diverged "
+                        "from the uninterrupted reference")
+    if worker_kill.get("retries_taken", 0) < 1:
+        problems.append("service recovery: the seeded worker kill never "
+                        "triggered a supervised retry")
+    if recovery.get("checkpoint_hits", 0) < min_checkpoint_hits:
+        problems.append(
+            f"service recovery: resumed run reloaded "
+            f"{recovery.get('checkpoint_hits', 0)} shard checkpoint(s), "
+            f"below the {min_checkpoint_hits} floor")
+    if recovery.get("recovered_jobs", 0) < 1:
+        problems.append("service recovery: journal replay recovered no "
+                        "jobs after the simulated crash")
+    if recovery.get("clean_shutdown_marker", False):
+        problems.append("service recovery: a clean-shutdown marker "
+                        "survived the simulated crash (the journal gate "
+                        "is not actually being exercised)")
+    speedup = recovery.get("resume_speedup_vs_cold", 0.0)
+    if speedup < min_resume_speedup:
+        problems.append(
+            f"service recovery: resume ran at {speedup:.2f}x the cold "
+            f"cost, below the {min_resume_speedup:.2f}x floor")
+    return problems
+
+
 def _pipeline_runs(report: dict):
     """Yield (label, single-run report) pairs, expanding matrix reports."""
     runs = report.get("runs")
@@ -321,6 +376,16 @@ def main(argv=None) -> int:
     parser.add_argument("--service-min-hit-rate", type=float, default=0.75,
                         help="floor for the warm wave's tier hit rate "
                              "(default 0.75)")
+    parser.add_argument("--service-recovery-min-speedup", type=float,
+                        default=1.0,
+                        help="floor for the crash-resume wall-clock "
+                             "speedup over the cold run (default 1.0: "
+                             "resuming must not be slower; relax on "
+                             "noisy shared runners)")
+    parser.add_argument("--service-recovery-min-checkpoint-hits",
+                        type=int, default=1,
+                        help="minimum shard checkpoints the resumed run "
+                             "must reload (default 1)")
     parser.add_argument("--pipeline-report", type=Path, action="append",
                         default=[], metavar="REPORT.json",
                         help="warm-run 'python -m repro run --repeat 2' "
@@ -420,6 +485,11 @@ def main(argv=None) -> int:
             min_warm_speedup=arguments.service_min_warm_speedup,
             min_jobs_per_sec=arguments.service_min_jobs_per_sec,
             min_hit_rate=arguments.service_min_hit_rate))
+        problems.extend(check_recovery(
+            service_baseline, service_current,
+            min_resume_speedup=arguments.service_recovery_min_speedup,
+            min_checkpoint_hits=(
+                arguments.service_recovery_min_checkpoint_hits)))
         measured_service = service_speedups(service_current)
         for metric, reference in sorted(
                 service_speedups(service_baseline).items()):
@@ -432,6 +502,15 @@ def main(argv=None) -> int:
               f"{warm.get('jobs_per_second', 0.0):.3f}, tier hit rate: "
               f"{warm.get('tier_hit_rate')}, coalesced: "
               f"{service_current.get('coalescing', {}).get('coalesced')}")
+        recovery = service_current.get("recovery")
+        if recovery is not None:
+            print(f"service recovery: {recovery.get('checkpoint_hits')} "
+                  f"checkpoint hit(s), "
+                  f"{recovery.get('shards_recomputed')} of "
+                  f"{recovery.get('shards_total')} shard(s) recomputed, "
+                  f"resume {recovery.get('resume_speedup_vs_cold')}x vs "
+                  f"cold, identical: "
+                  f"{recovery.get('resume_identical')}")
     for path in arguments.pipeline_report:
         report = json.loads(path.read_text())
         report_problems = check_pipeline(report, label=path.name)

@@ -123,6 +123,12 @@ def _build_parser() -> argparse.ArgumentParser:
                            metavar="SECONDS",
                            help="how long to wait for the report "
                                 "(default: 3600)")
+    submitter.add_argument("--timeout-s", type=float, default=None,
+                           metavar="SECONDS", dest="timeout_s",
+                           help="server-side deadline for the job itself "
+                                "(queue wait included); the service "
+                                "cancels the job when it expires "
+                                "(default: unbounded)")
     submitter.add_argument("--output", metavar="FILE", default=None,
                            help="also write the JSON report to FILE")
     return parser
@@ -199,6 +205,38 @@ def _serve(arguments: argparse.Namespace) -> int:
     print(f"campaign service listening on http://{host}:{port} "
           f"(tier: {tier.root}, backend: {arguments.backend})",
           file=sys.stderr, flush=True)
+
+    # Graceful shutdown on SIGTERM/SIGINT: mark the HTTP surface as
+    # draining (503 + Retry-After for new submissions), let in-flight
+    # jobs settle, journal the clean-shutdown marker, then stop the
+    # server.  The drain runs on its own thread because server.shutdown()
+    # must not be called from the serve_forever() thread, and a signal
+    # handler must return quickly.
+    import signal
+    import threading
+
+    stop_once = threading.Event()
+
+    def drain_and_stop() -> None:
+        server.draining = True  # type: ignore[attr-defined]
+        service.stop()
+        server.shutdown()
+
+    def handle_signal(signum: int, _frame: object) -> None:
+        if stop_once.is_set():
+            return
+        stop_once.set()
+        print(f"received signal {signum}; draining", file=sys.stderr,
+              flush=True)
+        threading.Thread(target=drain_and_stop, daemon=True,
+                         name="repro-drain").start()
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, handle_signal)
+        except ValueError:
+            pass  # non-main thread (embedded use) — skip the handlers
+
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -220,6 +258,8 @@ def _submit(arguments: argparse.Namespace) -> int:
             spec[field] = value
     if arguments.faults is not None:
         spec["num_faults"] = arguments.faults
+    if arguments.timeout_s is not None:
+        spec["timeout_s"] = arguments.timeout_s
 
     snapshot = submit_job(arguments.url, spec)
     state = "joined in-flight job" if snapshot.get("coalesced") \

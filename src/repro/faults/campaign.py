@@ -22,6 +22,7 @@ bit-identical aggregates for the same seed.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import time
 from typing import Dict, List, Optional, Sequence
 
@@ -155,6 +156,49 @@ def _synthesized_silent_verdict(task: FaultTask) -> FaultVerdict:
     )
 
 
+def _checkpoint_key(implementation: Implementation,
+                    config: CampaignConfig,
+                    context, model, num_groups: int,
+                    stimulus: Optional[Sequence[Dict[str, int]]],
+                    fault_bits: Optional[Sequence[int]]) -> str:
+    """Content digest identifying a campaign for shard checkpointing.
+
+    Two campaigns share shard checkpoints only when this digest matches —
+    it must therefore cover everything that can change a verdict: the
+    implemented bitstream, the upset model and its sampling seed, the
+    fault-list mode, the comparison window, the prefilter (which changes
+    the *task list* the backend sees) and any explicitly supplied
+    stimulus or bit list.  Deliberately excluded: the backend (all
+    backends are bit-identical) and delivery knobs like timeouts.
+    """
+    from .cache import implementation_fingerprint
+
+    if context.cache_entry is not None:
+        fingerprint = context.cache_entry.fingerprint
+    else:
+        fingerprint = implementation_fingerprint(implementation)
+    digest = hashlib.sha256()
+    parts = [
+        fingerprint,
+        model.describe(),
+        str(config.seed),
+        config.fault_list_mode,
+        str(config.skip_cycles),
+        config.prefilter,
+        str(num_groups),
+        str(config.workload_cycles),
+        str(config.workload_seed),
+    ]
+    if stimulus is not None:
+        parts.append(repr([sorted(cycle.items()) for cycle in stimulus]))
+    if fault_bits is not None:
+        parts.append(repr(tuple(fault_bits)))
+    for part in parts:
+        digest.update(part.encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
 def default_stimulus(implementation: Implementation,
                      config: CampaignConfig) -> List[Dict[str, int]]:
     """Build the campaign workload for a design.
@@ -256,6 +300,12 @@ def run_campaign(implementation: Implementation,
         raise ValueError(f"unknown campaign prefilter "
                          f"{config.prefilter!r}; choose from "
                          f"{PREFILTER_CHOICES}")
+    # Arm shard-level checkpointing: sharding backends persist completed
+    # shards under this key (when a cache tier is active) so interrupted
+    # campaigns resume instead of recomputing.
+    context.checkpoint_key = _checkpoint_key(
+        implementation, config, context, model, len(groups),
+        stimulus, fault_bits)
     skipped_silent = 0
     if config.prefilter == "static" and groups:
         if defeat_map is None:

@@ -151,6 +151,12 @@ class CampaignContext:
         self.implementation = implementation
         self.cache_entry = cache_entry
         self.stats = stats if stats is not None else CacheStats()
+        #: content digest of the exact task list this campaign hands to
+        #: its backend (set by ``run_campaign``); checkpoint-capable
+        #: backends persist completed shards under it so an interrupted
+        #: campaign resumes instead of recomputing.  ``None`` disables
+        #: checkpointing.
+        self.checkpoint_key: Optional[str] = None
         if compiled is None:
             if cache_entry is not None:
                 compiled = cache_entry.compiled_design(self.stats)
@@ -832,18 +838,79 @@ def _init_shard_worker(context: CampaignContext, inner_spec: str) -> None:
     context.prepare()
 
 
-def _run_task_shard(shard: List[FaultTask]) -> List[FaultVerdict]:
+def _run_task_shard(shard_index: int,
+                    shard: List[FaultTask]) -> List[FaultVerdict]:
     context = _WORKER_CONTEXT
     assert context is not None and _SHARD_INNER is not None, \
         "sharded worker used before initialization"
+    from ..service import chaos
+
+    chaos.on_shard_start(shard_index)
+    return _evaluate_shard_locally(_SHARD_INNER, context, shard)
+
+
+def _evaluate_shard_locally(inner: ExecutionBackend,
+                            context: CampaignContext,
+                            shard: Sequence[FaultTask]
+                            ) -> List[FaultVerdict]:
     # Inner backends place verdicts by task index into a list sized to
     # the tasks they were handed, so a shard must be locally re-indexed
     # before the run and its verdicts restored to global indices after.
     local = [dataclasses.replace(task, index=position)
              for position, task in enumerate(shard)]
-    verdicts = _SHARD_INNER.run(context, local)
+    verdicts = inner.run(context, local)
     return [dataclasses.replace(verdict, index=shard[verdict.index].index)
             for verdict in verdicts]
+
+
+class _ShardCheckpoints:
+    """Parent-side shard-checkpoint view of one campaign's task list.
+
+    Checkpoint identity chains three things: the campaign's content
+    digest (``CampaignContext.checkpoint_key``, covering implementation,
+    sampling and workload), the shard *schedule* (task count and shard
+    count — a rerun with a different worker count simply misses), and
+    the shard's position.  Payloads additionally carry their own
+    ``[start, stop)`` range and are validated against the expected slice
+    before reuse, so a checkpoint can never resume foreign work.
+    """
+
+    def __init__(self, tier: object, campaign_key: str, num_tasks: int,
+                 num_shards: int) -> None:
+        self.tier = tier
+        self.prefix = f"{campaign_key}-{num_tasks}-{num_shards}"
+        self.hits = 0
+        self.stores = 0
+
+    def _key(self, shard_index: int) -> str:
+        return f"{self.prefix}-{shard_index}"
+
+    def load(self, shard_index: int, start: int,
+             stop: int) -> Optional[List[FaultVerdict]]:
+        payload = self.tier.load_shard_verdicts(self._key(shard_index))
+        if not isinstance(payload, dict) \
+                or payload.get("start") != start \
+                or payload.get("stop") != stop:
+            return None
+        verdicts = payload.get("verdicts")
+        if not isinstance(verdicts, list) \
+                or len(verdicts) != stop - start \
+                or any(not isinstance(verdict, FaultVerdict)
+                       for verdict in verdicts):
+            return None
+        self.hits += 1
+        return verdicts
+
+    def store(self, shard_index: int, start: int, stop: int,
+              verdicts: Sequence[FaultVerdict]) -> None:
+        ok = self.tier.store_shard_verdicts(
+            self._key(shard_index),
+            {"start": start, "stop": stop, "verdicts": list(verdicts)})
+        if ok:
+            self.stores += 1
+            from ..service import chaos
+
+            chaos.on_shard_checkpointed(self.stores)
 
 
 class ShardedBackend(ExecutionBackend):
@@ -866,20 +933,56 @@ class ShardedBackend(ExecutionBackend):
     Small campaigns (below ``min_tasks``) skip the pool entirely and run
     the inner backend inline — same cut-over rationale as
     :class:`ProcessPoolBackend`, visible in reports as
-    ``sharded:inline-fallback``.  A worker killed mid-campaign raises
-    :class:`CampaignWorkerError` instead of hanging.
+    ``sharded:inline-fallback``.
+
+    **Supervision and crash-safety.**  Shards are submitted as individual
+    futures and supervised: a shard whose worker dies (the pool breaks)
+    is retried up to ``max_shard_retries`` times with exponential backoff
+    plus deterministic jitter, respawning the executor each round.  A
+    shard that keeps failing degrades *inline* through the backend chain
+    ``inner → numpy → vector → serial`` (every step is bit-identical, so
+    degradation changes provenance, never results); only when even the
+    serial path fails does the campaign abort with
+    :class:`CampaignWorkerError`.  When the campaign context carries a
+    ``checkpoint_key`` and a shared cache tier is active, every completed
+    shard's verdicts are persisted as a checkpoint and an interrupted
+    campaign's rerun reloads them instead of recomputing — the resume
+    path of the campaign service.  All of it is recorded in
+    ``last_run_stats`` (``retries``, ``degradations``,
+    ``checkpoint_hits``/``checkpoint_stores``), which the pipeline
+    surfaces as volatile report provenance.
+
+    ``REPRO_SHARD_WORKERS`` / ``REPRO_SHARD_MIN_TASKS`` /
+    ``REPRO_SHARD_RETRIES`` override the construction defaults from the
+    environment — chiefly so chaos tests and the service can pin a
+    deterministic shard schedule without threading knobs through every
+    layer.
     """
 
     name = "sharded"
 
+    #: degradation order after the configured inner backend fails
+    DEGRADATION_CHAIN = ("numpy", "vector", "serial")
+
     def __init__(self, workers: Optional[int] = None,
                  inner: Optional[str] = None,
                  shards_per_worker: int = 2,
-                 min_tasks: int = 1000) -> None:
+                 min_tasks: Optional[int] = None,
+                 max_shard_retries: Optional[int] = None,
+                 retry_backoff_s: float = 0.25) -> None:
+        if workers is None and os.environ.get("REPRO_SHARD_WORKERS"):
+            workers = int(os.environ["REPRO_SHARD_WORKERS"])
+        if min_tasks is None:
+            min_tasks = int(os.environ.get("REPRO_SHARD_MIN_TASKS", "1000"))
+        if max_shard_retries is None:
+            max_shard_retries = int(os.environ.get("REPRO_SHARD_RETRIES",
+                                                   "2"))
         self.workers = workers
         self.inner = inner
         self.shards_per_worker = max(1, shards_per_worker)
         self.min_tasks = min_tasks
+        self.max_shard_retries = max(0, max_shard_retries)
+        self.retry_backoff_s = max(0.0, retry_backoff_s)
         self.last_run_stats: Dict[str, object] = {}
 
     def inner_spec(self) -> str:
@@ -892,24 +995,128 @@ class ShardedBackend(ExecutionBackend):
             return max(1, self.workers)
         return max(1, min(os.cpu_count() or 1, num_tasks))
 
+    # ------------------------------------------------------------------
+    def _degradation_chain(self, inner_spec: str) -> List[str]:
+        chain = [inner_spec]
+        for fallback in self.DEGRADATION_CHAIN:
+            if fallback not in chain:
+                chain.append(fallback)
+        return chain
+
+    def _resolve_inner(self, inner_spec: str,
+                       degradations: List[Dict[str, object]]
+                       ) -> ExecutionBackend:
+        """Resolve the inner backend, degrading when it is unavailable.
+
+        Catches :class:`BackendUnavailableError` only — an explicitly
+        requested ``inner="numpy"`` without numpy installed degrades to
+        ``vector`` (recorded in provenance) instead of failing the
+        campaign, matching the tentpole's "graceful when numpy is
+        unavailable" contract.
+        """
+        last: Optional[Exception] = None
+        for candidate in self._degradation_chain(inner_spec):
+            try:
+                backend = resolve_backend(candidate)
+            except BackendUnavailableError as exc:
+                last = exc
+                continue
+            if candidate != inner_spec:
+                degradations.append({
+                    "shard": None, "from": inner_spec, "to": candidate,
+                    "reason": str(last)})
+            return backend
+        raise BackendUnavailableError(
+            f"no usable inner backend for {inner_spec!r}") from last
+
+    def _checkpoints_for(self, context: CampaignContext, num_tasks: int,
+                         num_shards: int) -> Optional[_ShardCheckpoints]:
+        key = getattr(context, "checkpoint_key", None)
+        if key is None or not num_tasks:
+            return None
+        from ..service.tier import active_tier
+
+        tier = active_tier()
+        if tier is None:
+            return None
+        return _ShardCheckpoints(tier, key, num_tasks, num_shards)
+
+    def _degrade_shard(self, context: CampaignContext,
+                       shard: Sequence[FaultTask], shard_index: int,
+                       inner_spec: str,
+                       degradations: List[Dict[str, object]],
+                       cause: Exception) -> List[FaultVerdict]:
+        """Evaluate a repeatedly-failing shard inline, degrading backends.
+
+        Runs in the parent process — whatever killed the workers (an OOM
+        kill, a poisoned kernel, chaos) cannot break the pool again from
+        here, and each chain step is bit-identical by the engine's
+        equivalence contract.
+        """
+        reason = f"{type(cause).__name__}: {cause}"
+        last: Exception = cause
+        for candidate in self._degradation_chain(inner_spec):
+            try:
+                backend = resolve_backend(candidate)
+                verdicts = _evaluate_shard_locally(backend, context, shard)
+            except Exception as exc:
+                last = exc
+                continue
+            degradations.append({
+                "shard": shard_index, "from": inner_spec,
+                "to": f"inline:{backend.name}", "reason": reason})
+            LOGGER.warning(
+                "sharded backend: shard %d exhausted %d retries (%s); "
+                "degraded to inline %s", shard_index,
+                self.max_shard_retries, reason, backend.name)
+            return verdicts
+        raise CampaignWorkerError(
+            f"shard {shard_index} failed after {self.max_shard_retries} "
+            f"retries and every degradation fallback "
+            f"({' -> '.join(self._degradation_chain(inner_spec))}); "
+            f"last error: {type(last).__name__}: {last}") from last
+
+    # ------------------------------------------------------------------
     def run(self, context: CampaignContext, tasks: Sequence[FaultTask],
             progress: Optional[ProgressCallback] = None
             ) -> List[FaultVerdict]:
         import multiprocessing
-        from concurrent.futures import ProcessPoolExecutor
+        import time as _time
+        from concurrent.futures import ProcessPoolExecutor, as_completed
         from concurrent.futures.process import BrokenProcessPool
+
+        from .seeds import substream
 
         inner_spec = self.inner_spec()
         workers = self._worker_count(len(tasks))
+        degradations: List[Dict[str, object]] = []
         if not tasks or workers == 1 or len(tasks) < self.min_tasks:
             # Degrading must stay visible in reports (benchmarks attribute
             # faults/sec to the backend name) — same contract as the
             # process backend's serial fallback.
             self.name = "sharded:inline-fallback"
-            inner = resolve_backend(inner_spec)
+            inner = self._resolve_inner(inner_spec, degradations)
+            stats: Dict[str, object] = {
+                "workers": 1, "shards": 1, "inner": inner.name,
+                "inline": True, "retries": 0,
+                "checkpoint_hits": 0, "checkpoint_stores": 0,
+                "degradations": degradations,
+            }
+            # The inline path is one shard of the trivial one-shard
+            # schedule, checkpointed like any other so even small service
+            # campaigns resume instead of recomputing.
+            checkpoints = self._checkpoints_for(context, len(tasks), 1)
+            if checkpoints is not None:
+                cached = checkpoints.load(0, 0, len(tasks))
+                if cached is not None:
+                    stats["checkpoint_hits"] = 1
+                    self.last_run_stats = stats
+                    return list(cached)
             verdicts = inner.run(context, tasks, progress)
-            self.last_run_stats = {"workers": 1, "shards": 1,
-                                   "inner": inner.name, "inline": True}
+            if checkpoints is not None and len(verdicts) == len(tasks):
+                checkpoints.store(0, 0, len(tasks), verdicts)
+                stats["checkpoint_stores"] = checkpoints.stores
+            self.last_run_stats = stats
             return verdicts
         self.name = ShardedBackend.name
 
@@ -929,37 +1136,106 @@ class ShardedBackend(ExecutionBackend):
         task_list = list(tasks)
         ranges = split_shards(len(task_list),
                               workers * self.shards_per_worker)
-        shards = [task_list[start:stop] for start, stop in ranges
-                  if stop > start]
+        descriptors = [(index, start, stop)
+                       for index, (start, stop) in enumerate(ranges)
+                       if stop > start]
+        checkpoints = self._checkpoints_for(context, len(task_list),
+                                            len(ranges))
 
         verdicts: List[Optional[FaultVerdict]] = [None] * len(task_list)
         total = len(task_list)
         done = 0
-        executor = ProcessPoolExecutor(
-            max_workers=workers, mp_context=mp_context,
-            initializer=_init_shard_worker,
-            initargs=(worker_context, inner_spec))
+
+        def place(shard_verdicts: Sequence[FaultVerdict]) -> None:
+            nonlocal done
+            for verdict in shard_verdicts:
+                verdicts[verdict.index] = verdict
+                done += 1
+                self._tick(progress, done, total)
+
+        pending: List[Tuple[int, int, int]] = []
+        for index, start, stop in descriptors:
+            cached = checkpoints.load(index, start, stop) \
+                if checkpoints is not None else None
+            if cached is not None:
+                place(cached)
+            else:
+                pending.append((index, start, stop))
+
+        retries = 0
+        attempts: Dict[int, int] = {}
+        # Jitter decorrelates retry rounds without breaking determinism:
+        # the stream is a labeled substream of the task count, so a rerun
+        # sleeps the same schedule.
+        jitter = substream(len(task_list), "shard-retry-jitter")
+        executor: Optional[ProcessPoolExecutor] = None
         try:
-            for shard_verdicts in executor.map(_run_task_shard, shards):
-                for verdict in shard_verdicts:
-                    verdicts[verdict.index] = verdict
-                    done += 1
-                    self._tick(progress, done, total)
-        except BrokenProcessPool as exc:
-            raise CampaignWorkerError(
-                f"a sharded campaign worker died after {done}/{total} "
-                f"verdicts (inner backend {inner_spec!r}, {workers} "
-                f"workers, {len(shards)} shards); the campaign was "
-                "aborted — rerun, or use an in-process backend to "
-                "debug the fault") from exc
+            while pending:
+                if executor is None:
+                    executor = ProcessPoolExecutor(
+                        max_workers=workers, mp_context=mp_context,
+                        initializer=_init_shard_worker,
+                        initargs=(worker_context, inner_spec))
+                futures = {
+                    executor.submit(_run_task_shard, index,
+                                    task_list[start:stop]):
+                    (index, start, stop)
+                    for index, start, stop in pending}
+                pending = []
+                failed: List[Tuple[Tuple[int, int, int], Exception]] = []
+                broken = False
+                for future in as_completed(futures):
+                    descriptor = futures[future]
+                    try:
+                        shard_verdicts = future.result()
+                    except Exception as exc:
+                        failed.append((descriptor, exc))
+                        broken = broken or isinstance(exc,
+                                                      BrokenProcessPool)
+                        continue
+                    place(shard_verdicts)
+                    if checkpoints is not None:
+                        index, start, stop = descriptor
+                        checkpoints.store(index, start, stop,
+                                          shard_verdicts)
+                for (index, start, stop), exc in failed:
+                    count = attempts.get(index, 0) + 1
+                    attempts[index] = count
+                    if count <= self.max_shard_retries:
+                        retries += 1
+                        pending.append((index, start, stop))
+                    else:
+                        shard_verdicts = self._degrade_shard(
+                            context, task_list[start:stop], index,
+                            inner_spec, degradations, exc)
+                        place(shard_verdicts)
+                        if checkpoints is not None:
+                            checkpoints.store(index, start, stop,
+                                              shard_verdicts)
+                if broken and executor is not None:
+                    # A broken pool can run nothing more; dead-worker
+                    # respawn is a fresh executor on the next round.
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    executor = None
+                if pending and failed:
+                    backoff = self.retry_backoff_s * (
+                        2 ** (max(attempts.values()) - 1))
+                    _time.sleep(min(2.0, backoff) * (0.5 + jitter.random()))
         finally:
-            executor.shutdown(wait=True, cancel_futures=True)
+            if executor is not None:
+                executor.shutdown(wait=True, cancel_futures=True)
         self.last_run_stats = {
             "workers": workers,
-            "shards": len(shards),
+            "shards": len(descriptors),
             "shard_sizes": [stop - start for start, stop in ranges],
             "inner": inner_spec,
             "inline": False,
+            "retries": retries,
+            "checkpoint_hits": checkpoints.hits
+            if checkpoints is not None else 0,
+            "checkpoint_stores": checkpoints.stores
+            if checkpoints is not None else 0,
+            "degradations": degradations,
         }
         return [verdict for verdict in verdicts if verdict is not None]
 

@@ -307,6 +307,7 @@ class CampaignStage(Stage):
             prefilter=ctx.prefilter,
         )
         engine = resolve_backend(ctx.backend)
+        execution: Dict[str, object] = {}
         for name in ctx.designs:
             if name not in ctx.implementations:
                 continue
@@ -323,6 +324,9 @@ class CampaignStage(Stage):
             ctx.campaigns[name] = run_campaign(
                 ctx.implementations[name], config, progress=callback,
                 backend=engine)
+            stats = getattr(engine, "last_run_stats", None)
+            if stats:
+                execution[name] = dict(stats)
         return {
             "injected": {name: result.injected
                          for name, result in ctx.campaigns.items()},
@@ -331,6 +335,11 @@ class CampaignStage(Stage):
             "prefilter": ctx.prefilter,
             "skipped_silent": {name: result.skipped_silent
                                for name, result in ctx.campaigns.items()},
+            # Per-design execution provenance (shard counts, retries,
+            # checkpoint hits, backend degradations).  Volatile by
+            # definition — a resumed run reports checkpoint hits where a
+            # cold run reports stores — so stable_report() scrubs it.
+            "execution": execution,
         }
 
 
@@ -634,7 +643,7 @@ def build_report(ctx: PipelineContext,
 #: when the run started; stripped when comparing reports for determinism.
 #: (The CI cache gate reads the *raw* report, where the counters matter.)
 VOLATILE_REPORT_KEYS = ("seconds", "faults_per_second", "duration_seconds",
-                        "cache", "suite_memo_hit")
+                        "cache", "suite_memo_hit", "execution")
 
 
 def stable_report(report: Dict[str, object]) -> Dict[str, object]:

@@ -168,6 +168,23 @@ register_scenario(Scenario(
 ))
 
 register_scenario(Scenario(
+    id="chaos-fir",
+    title="Chaos campaign — recovery under injected failures",
+    description="The Table 3 campaign on the unprotected and "
+                "medium-partition versions through the supervised "
+                "sharded backend.  Run under REPRO_CHAOS (see "
+                "repro.service.chaos) it exercises worker death, torn "
+                "tier writes and disk-full at seeded fault points while "
+                "the verdicts must stay bit-identical to an undisturbed "
+                "run; without chaos configured it is an ordinary sharded "
+                "campaign.",
+    scale="tiny",
+    designs=("standard", "TMR_p2"),
+    backend="sharded",
+    analyses=("table3",),
+))
+
+register_scenario(Scenario(
     id="table4-fir",
     title="Table 4 — effects of error-causing upsets",
     description="The Table 3 campaigns aggregated by effect category "

@@ -12,25 +12,38 @@ The service layer wraps the scenario pipeline (:mod:`repro.scenarios` /
   jobs with bounded concurrency, sharding each campaign's fault tasks
   across worker processes through the engine's sharded backend;
 * :mod:`repro.service.httpd` — a dependency-free HTTP surface
-  (``repro serve`` / ``repro submit``) over the orchestrator.
+  (``repro serve`` / ``repro submit``) over the orchestrator;
+* :mod:`repro.service.journal` — the durable job journal (write-ahead
+  log) that lets a restarted service recover unsettled jobs;
+* :mod:`repro.service.chaos` — deterministic fault-point injection for
+  exercising the recovery paths.
 
 Everything here is stdlib-only; campaigns stay bit-identical to a direct
 :func:`repro.scenarios.run_scenario` call (enforced by the test suite).
 """
 
+from .chaos import ChaosConfig, ChaosCrash, active_chaos  # noqa: F401
 from .jobs import (JobQueue, JobSpec, JobState,  # noqa: F401
                    job_fingerprint)
-from .orchestrator import CampaignService  # noqa: F401
+from .journal import JobJournal  # noqa: F401
+from .orchestrator import (CampaignService,  # noqa: F401
+                           ServiceDraining, ServiceError)
 from .tier import (SharedCacheTier, activate_tier,  # noqa: F401
                    active_tier, deactivate_tier, resolve_tier)
 
 __all__ = [
     "CampaignService",
+    "ChaosConfig",
+    "ChaosCrash",
+    "JobJournal",
     "JobQueue",
     "JobSpec",
     "JobState",
+    "ServiceDraining",
+    "ServiceError",
     "SharedCacheTier",
     "activate_tier",
+    "active_chaos",
     "active_tier",
     "deactivate_tier",
     "job_fingerprint",

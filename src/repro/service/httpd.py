@@ -4,18 +4,26 @@ The server is stdlib :class:`~http.server.ThreadingHTTPServer` — every
 request handler thread only touches the thread-safe queue/service
 objects, never the compute.  The API is deliberately small:
 
-=======  ======================  ==========================================
-Method   Path                    Meaning
-=======  ======================  ==========================================
-POST     ``/jobs``               submit a job spec (JSON body); 202 with
-                                 the job snapshot (+ ``coalesced`` flag)
-GET      ``/jobs``               all job snapshots
-GET      ``/jobs/<id>``          one snapshot; ``?wait=<seconds>`` blocks
-                                 until the job settles or the wait expires
-GET      ``/jobs/<id>/report``   the ``repro.scenario-report/1`` JSON
-                                 (202 while in flight, 500 when failed)
-GET      ``/stats``              queue + cache-tier counters
-=======  ======================  ==========================================
+=========  ======================  ==========================================
+Method     Path                    Meaning
+=========  ======================  ==========================================
+POST       ``/jobs``               submit a job spec (JSON body); 202 with
+                                   the job snapshot (+ ``coalesced`` flag);
+                                   503 + ``Retry-After`` while draining
+GET        ``/jobs``               all job snapshots
+GET        ``/jobs/<id>``          one snapshot; ``?wait=<seconds>`` blocks
+                                   until the job settles or the wait expires
+                                   (clamped to ``MAX_WAIT_SECONDS``)
+POST       ``/jobs/<id>/cancel``   cancel the job (pending: immediate;
+                                   running: cooperative teardown)
+GET        ``/jobs/<id>/report``   the ``repro.scenario-report/1`` JSON
+                                   (202 while in flight, 500 when failed,
+                                   409 when cancelled)
+GET        ``/stats``              queue + cache-tier counters
+GET        ``/healthz``            process liveness (always 200)
+GET        ``/readyz``             readiness: 200 while accepting jobs,
+                                   503 + ``Retry-After`` when draining
+=========  ======================  ==========================================
 
 The matching client helpers (:func:`submit_job`, :func:`fetch_job`,
 :func:`fetch_report`, :func:`fetch_stats`) ride :mod:`urllib` so the
@@ -32,11 +40,16 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 
 from .jobs import JobSpec, JobState
-from .orchestrator import CampaignService
+from .orchestrator import CampaignService, ServiceDraining
 
-#: Longest server-side ``?wait=`` a single request may hold (seconds);
-#: clients needing more simply re-issue the request.
-MAX_WAIT_SECONDS = 300.0
+#: Longest server-side ``?wait=`` a single request may hold (seconds).
+#: Bounding the long-poll keeps handler threads (and any intermediary's
+#: idle-connection budget) finite; clients needing more re-issue the
+#: request — see :func:`wait_for_job` for the canonical retry loop.
+MAX_WAIT_SECONDS = 60.0
+
+#: ``Retry-After`` hint (seconds) sent with draining 503s.
+RETRY_AFTER_SECONDS = 5
 
 
 class ServiceRequestHandler(BaseHTTPRequestHandler):
@@ -65,6 +78,21 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     def _error(self, status: int, message: str) -> None:
         self._send_json(status, {"error": message})
 
+    def _unavailable(self, message: str) -> None:
+        """503 with ``Retry-After`` — the drain/not-ready signal."""
+        body = json.dumps({"error": message}, indent=2,
+                          sort_keys=True).encode()
+        self.send_response(503)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("Retry-After", str(RETRY_AFTER_SECONDS))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _draining(self) -> bool:
+        return bool(getattr(self.server, "draining", False)
+                    or self.service.draining)
+
     def _split_path(self) -> Tuple[str, Dict[str, str]]:
         path, _, query_string = self.path.partition("?")
         query: Dict[str, str] = {}
@@ -77,8 +105,18 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802 (stdlib handler casing)
         path, _query = self._split_path()
+        if path.startswith("/jobs/") and path.endswith("/cancel"):
+            job_id = path.split("/")[2]
+            try:
+                job = self.service.cancel(job_id)
+            except KeyError as exc:
+                return self._error(404, str(exc).strip('"'))
+            return self._send_json(202, job.snapshot())
         if path != "/jobs":
             return self._error(404, f"no such endpoint: POST {path}")
+        if self._draining():
+            return self._unavailable(
+                "service is draining; retry after restart")
         try:
             length = int(self.headers.get("Content-Length", "0"))
             data = json.loads(self.rfile.read(length) or b"{}")
@@ -87,6 +125,8 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             return self._error(400, str(exc))
         try:
             job, coalesced = self.service.submit_detailed(spec)
+        except ServiceDraining as exc:
+            return self._unavailable(str(exc))
         except KeyError as exc:  # unknown scenario
             return self._error(400, str(exc).strip('"'))
         snapshot = job.snapshot()
@@ -95,6 +135,13 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802
         path, query = self._split_path()
+        if path == "/healthz":
+            # Liveness: the process answers, nothing more.
+            return self._send_json(200, {"status": "alive"})
+        if path == "/readyz":
+            if self._draining():
+                return self._unavailable("draining")
+            return self._send_json(200, {"status": "ready"})
         if path == "/stats":
             return self._send_json(200, self.service.stats())
         if path == "/jobs":
@@ -110,7 +157,11 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             if len(parts) == 1:
                 if "wait" in query:
                     try:
-                        wait = min(float(query["wait"]), MAX_WAIT_SECONDS)
+                        # Clamp to [0, MAX_WAIT_SECONDS]: one request
+                        # never holds a handler thread longer than the
+                        # bound, however large (or negative) the ask.
+                        wait = max(0.0, min(float(query["wait"]),
+                                            MAX_WAIT_SECONDS))
                     except ValueError:
                         return self._error(400, "wait must be a number")
                     job.wait(wait)
@@ -119,6 +170,9 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 if job.state == JobState.FAILED:
                     return self._error(
                         500, f"job {job.id} failed: {job.error}")
+                if job.state == JobState.CANCELLED:
+                    return self._error(
+                        409, f"job {job.id} was cancelled: {job.error}")
                 if job.report is None:
                     return self._send_json(202, job.snapshot())
                 return self._send_json(200, job.report)
@@ -176,9 +230,22 @@ def fetch_stats(base_url: str) -> Dict[str, object]:
     return _request(f"{base_url.rstrip('/')}/stats")
 
 
+def cancel_job(base_url: str, job_id: str) -> Dict[str, object]:
+    return _request(f"{base_url.rstrip('/')}/jobs/{job_id}/cancel",
+                    data=b"{}")
+
+
 def wait_for_job(base_url: str, job_id: str,
                  timeout: float = 3600.0) -> Dict[str, object]:
-    """Block (server-side long-poll) until the job settles; its snapshot."""
+    """Block until the job settles; returns its snapshot.
+
+    This is the canonical client retry loop matching the server's
+    bounded long-poll: each GET holds at most ``MAX_WAIT_SECONDS`` on
+    the server, and the client simply re-issues the request until the
+    job leaves the in-flight states or its own *timeout* budget runs
+    out.  A snapshot whose state is ``done``/``failed``/``cancelled``
+    settles the wait.
+    """
     deadline = time.monotonic() + timeout
     while True:
         remaining = deadline - time.monotonic()
@@ -186,5 +253,5 @@ def wait_for_job(base_url: str, job_id: str,
             raise TimeoutError(f"job {job_id} did not settle in {timeout}s")
         snapshot = fetch_job(base_url, job_id,
                              wait=min(remaining, MAX_WAIT_SECONDS))
-        if snapshot["state"] in (JobState.DONE, JobState.FAILED):
+        if snapshot["state"] not in JobState.IN_FLIGHT:
             return snapshot

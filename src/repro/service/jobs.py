@@ -38,10 +38,11 @@ class JobState:
     RUNNING = "running"
     DONE = "done"
     FAILED = "failed"
+    CANCELLED = "cancelled"
 
     #: states in which a job can still absorb identical submissions
     IN_FLIGHT = (PENDING, RUNNING)
-    ALL = (PENDING, RUNNING, DONE, FAILED)
+    ALL = (PENDING, RUNNING, DONE, FAILED, CANCELLED)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -63,6 +64,15 @@ class JobSpec:
     seed: Optional[int] = None
     fault_list_mode: Optional[str] = None
     designs: Optional[Tuple[str, ...]] = None
+    #: wall-clock budget for the whole job (queue wait included); ``None``
+    #: means unbounded.  A *delivery* knob, not a compute knob: it is
+    #: excluded from the fingerprint, so coalesced joiners share the
+    #: first submission's deadline.
+    timeout_s: Optional[float] = None
+
+    #: fields that shape *how* the job is delivered rather than *what* it
+    #: computes — excluded from overrides(), resolve() and the fingerprint
+    DELIVERY_FIELDS = ("timeout_s",)
 
     def __post_init__(self) -> None:
         if self.designs is not None and not isinstance(self.designs, tuple):
@@ -73,7 +83,7 @@ class JobSpec:
         """The non-default fields, as ``run_scenario`` keyword arguments."""
         out: Dict[str, object] = {}
         for field in dataclasses.fields(self):
-            if field.name == "scenario":
+            if field.name == "scenario" or field.name in self.DELIVERY_FIELDS:
                 continue
             value = getattr(self, field.name)
             if value is not None:
@@ -101,6 +111,8 @@ class JobSpec:
         out: Dict[str, object] = {"scenario": self.scenario}
         for key, value in self.overrides().items():
             out[key] = list(value) if isinstance(value, tuple) else value
+        if self.timeout_s is not None:
+            out["timeout_s"] = self.timeout_s
         return out
 
     @classmethod
@@ -147,12 +159,27 @@ class Job:
     submitted_at: float = dataclasses.field(default_factory=time.time)
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
+    #: resubmitted from the journal after a restart (provenance only)
+    recovered: bool = False
+    #: absolute ``time.monotonic()`` deadline derived from the spec's
+    #: ``timeout_s`` at submission; ``None`` means unbounded
+    deadline: Optional[float] = None
     done_event: threading.Event = dataclasses.field(
+        default_factory=threading.Event, repr=False, compare=False)
+    #: set by :meth:`JobQueue.cancel` / the orchestrator's deadline watch;
+    #: the running worker polls it and tears down cooperatively
+    cancel_event: threading.Event = dataclasses.field(
         default_factory=threading.Event, repr=False, compare=False)
 
     def wait(self, timeout: Optional[float] = None) -> bool:
-        """Block until the job settles (done or failed)."""
+        """Block until the job settles (done, failed or cancelled)."""
         return self.done_event.wait(timeout)
+
+    def deadline_remaining(self) -> Optional[float]:
+        """Seconds left before the deadline, or ``None`` when unbounded."""
+        if self.deadline is None:
+            return None
+        return self.deadline - time.monotonic()
 
     def elapsed(self) -> Optional[float]:
         if self.started_at is None:
@@ -173,6 +200,7 @@ class Job:
             "finished_at": self.finished_at,
             "elapsed_seconds": self.elapsed(),
             "error": self.error,
+            "recovered": self.recovered,
         }
 
 
@@ -205,6 +233,8 @@ class JobQueue:
                     return job, False
             job = Job(id=f"job-{next(self._counter):04d}", spec=spec,
                       fingerprint=fingerprint)
+            if spec.timeout_s is not None:
+                job.deadline = time.monotonic() + spec.timeout_s
             self._jobs[job.id] = job
             self._in_flight[fingerprint] = job.id
             return job, True
@@ -233,10 +263,23 @@ class JobQueue:
     def fail(self, job: Job, error: str) -> None:
         self._settle(job, JobState.FAILED, error=error)
 
+    def cancel(self, job: Job, reason: str) -> None:
+        """Settle *job* as cancelled (deadline exceeded or client ask).
+
+        Also sets the job's ``cancel_event`` so a running worker tears
+        down at its next progress tick instead of computing to the end.
+        """
+        job.cancel_event.set()
+        self._settle(job, JobState.CANCELLED, error=reason)
+
     def _settle(self, job: Job, state: str, *,
                 report: Optional[Dict[str, object]] = None,
                 error: Optional[str] = None) -> None:
         with self._lock:
+            if job.state not in JobState.IN_FLIGHT:
+                # Already settled — a late deadline/cancel must not
+                # clobber a delivered report (or vice versa).
+                return
             job.state = state
             job.report = report
             job.error = error

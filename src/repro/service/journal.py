@@ -1,0 +1,173 @@
+"""Durable job journal: a write-ahead log under the shared cache tier.
+
+PR 7's job queue is purely in-memory — a service restart forgets every
+queued and running job.  The journal fixes that with an append-only
+JSONL log the orchestrator writes *before* acting:
+
+.. code-block:: text
+
+    <tier root>/journal/jobs.jsonl
+    {"version": "journal-1", "event": "submitted", "job_id": ..., "spec": ...}
+    {"version": "journal-1", "event": "running",   "job_id": ...}
+    {"version": "journal-1", "event": "done",      "job_id": ...}
+    {"version": "journal-1", "event": "shutdown",  "clean": true}
+
+Durability follows the tier's contract, adapted to an append-only file:
+
+* every record is one self-contained JSON line carrying an explicit
+  ``version`` — a future layout change bumps it and old lines replay as
+  corrupt instead of resurrecting incompatible records;
+* appends are flushed and fsynced, so a journaled submission survives a
+  SIGKILL arriving right after the HTTP 202;
+* a torn trailing line (the crash arrived mid-append) fails to parse
+  and is *counted and skipped* — it can delay one record, never poison
+  the replay;
+* compaction (:meth:`JobJournal.reset`) is an atomic truncate-by-replace
+  (temp file + ``os.replace``), same as tier entry writes.
+
+Replay folds the event stream into a final state per job; jobs whose
+last state is ``submitted``/``running`` are *unsettled* — the
+orchestrator resubmits them on startup and their shard checkpoints (see
+:class:`~repro.faults.engine.ShardedBackend`) make the rerun cheap and
+bit-identical.  A trailing ``shutdown`` record marks a clean drain; its
+absence tells the next start it is recovering from a crash.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from . import chaos
+
+#: Bump when the record layout changes; old lines then count as corrupt
+#: instead of replaying into incompatible states.
+JOURNAL_VERSION = "journal-1"
+
+#: Journal events that settle a job (terminal states).
+SETTLED_EVENTS = ("done", "failed", "cancelled")
+
+
+@dataclasses.dataclass
+class JournalReplay:
+    """The folded outcome of replaying one journal file."""
+
+    #: last journaled record of each unsettled job, submission order:
+    #: ``{"job_id", "fingerprint", "spec", "state"}``
+    unsettled: List[Dict[str, object]]
+    #: the journal ended on a clean ``shutdown`` marker
+    clean_shutdown: bool
+    #: lines that failed to parse or carried a foreign version
+    corrupt_lines: int
+    #: records replayed successfully
+    replayed: int
+    #: jobs that reached a terminal state
+    settled: int
+
+
+class JobJournal:
+    """Append-only write-ahead log of job lifecycle events."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.path = self.root / "jobs.jsonl"
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def record(self, event: str, **fields: object) -> bool:
+        """Append one event; returns False when the write failed.
+
+        A full or read-only disk must never fail the operation being
+        journaled (same contract as tier stores) — the event is merely
+        not durable, and the return value lets callers count that.
+        """
+        entry: Dict[str, object] = {"version": JOURNAL_VERSION,
+                                    "event": event, "ts": time.time()}
+        entry.update(fields)
+        line = json.dumps(entry, sort_keys=True)
+        with self._lock:
+            try:
+                chaos.before_tier_write("journal")
+                with open(self.path, "a", encoding="utf-8") as handle:
+                    handle.write(line + "\n")
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            except OSError:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    def replay(self) -> JournalReplay:
+        """Fold the journal into per-job final states (crash-tolerant)."""
+        jobs: Dict[str, Dict[str, object]] = {}
+        corrupt = 0
+        replayed = 0
+        clean_shutdown = False
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except OSError:
+            lines = []
+        for line in lines:
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                corrupt += 1
+                continue
+            if not isinstance(entry, dict) \
+                    or entry.get("version") != JOURNAL_VERSION \
+                    or not isinstance(entry.get("event"), str):
+                corrupt += 1
+                continue
+            replayed += 1
+            event = entry["event"]
+            # Any event after a shutdown marker belongs to a newer
+            # incarnation; the marker only counts when it is last.
+            clean_shutdown = event == "shutdown"
+            if event == "submitted":
+                job_id = entry.get("job_id")
+                if isinstance(job_id, str) \
+                        and isinstance(entry.get("spec"), dict):
+                    jobs[job_id] = {
+                        "job_id": job_id,
+                        "fingerprint": entry.get("fingerprint"),
+                        "spec": entry["spec"],
+                        "state": "submitted",
+                    }
+            elif event == "running" or event in SETTLED_EVENTS:
+                job_id = entry.get("job_id")
+                if isinstance(job_id, str) and job_id in jobs:
+                    jobs[job_id]["state"] = event
+        unsettled = [info for info in jobs.values()
+                     if info["state"] not in SETTLED_EVENTS]
+        settled = len(jobs) - len(unsettled)
+        return JournalReplay(unsettled=unsettled,
+                             clean_shutdown=clean_shutdown,
+                             corrupt_lines=corrupt, replayed=replayed,
+                             settled=settled)
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Atomically truncate the journal (post-recovery compaction).
+
+        Recovered jobs are re-journaled as fresh submissions by the
+        orchestrator, so nothing in the old incarnation's log is needed
+        once replay has happened.
+        """
+        try:
+            handle = tempfile.NamedTemporaryFile(
+                dir=self.root, prefix=".jobs.", suffix=".tmp", delete=False)
+            with handle:
+                pass
+            os.replace(handle.name, self.path)
+        except OSError:
+            pass

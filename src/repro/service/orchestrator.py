@@ -22,6 +22,17 @@ Failure surfacing: any exception escaping a job — including
 :class:`~repro.faults.engine.CampaignWorkerError` from a killed sharded
 worker — marks the job ``failed`` with the formatted cause; it never
 hangs the queue or the loop.
+
+Crash safety (PR 8): when the service has a cache tier, every job
+lifecycle event is journaled to an append-only WAL under the tier root
+*before* the state change is acted on (see :mod:`repro.service.journal`).
+On start the journal is replayed and jobs that never settled — the
+previous incarnation crashed mid-campaign — are resubmitted; their shard
+checkpoints (stored by the ``sharded`` backend under the same tier) make
+the rerun recompute only the missing shards while producing a
+byte-identical stable report.  ``stop()`` drains in-flight jobs and
+writes a clean ``shutdown`` marker so the next start knows it is not
+recovering from a crash.
 """
 
 from __future__ import annotations
@@ -34,7 +45,9 @@ import traceback
 from typing import Dict, List, Optional, Tuple
 
 from ..scenarios import run_scenario
-from .jobs import Job, JobQueue, JobSpec
+from .chaos import ChaosCrash
+from .jobs import Job, JobQueue, JobSpec, JobState
+from .journal import JobJournal
 from .tier import SharedCacheTier, TierLike, activate_tier, resolve_tier
 
 #: Default cap on concurrently executing jobs.  Two keeps a long campaign
@@ -45,6 +58,19 @@ DEFAULT_MAX_PARALLEL = 2
 
 class ServiceError(RuntimeError):
     """The service was used in an invalid state (not started, stopped)."""
+
+
+class ServiceDraining(ServiceError):
+    """The service is shutting down and no longer accepts submissions."""
+
+
+class _JobInterrupted(Exception):
+    """Raised inside a worker's progress callback to tear the job down.
+
+    Cancellation is cooperative: the campaign engine ticks progress
+    every shard/interval, the monitor checks the job's cancel event and
+    deadline at each tick, and this exception unwinds the pipeline.
+    """
 
 
 class CampaignService:
@@ -75,10 +101,14 @@ class CampaignService:
         self.tier: Optional[SharedCacheTier] = resolve_tier(tier)
         self.max_parallel = max_parallel
         self.default_backend = default_backend
+        self.journal: Optional[JobJournal] = None
+        #: outcome of the last startup recovery (see :meth:`_recover`)
+        self.last_recovery: Dict[str, object] = {}
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
         self._semaphore: Optional[asyncio.Semaphore] = None
         self._futures: List["asyncio.Future"] = []
+        self._draining = False
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -89,6 +119,9 @@ class CampaignService:
             if self._loop is not None:
                 return self
             activate_tier(self.tier)
+            if self.tier is not None:
+                self.journal = JobJournal(self.tier.root / "journal")
+            self._draining = False
             self._loop = asyncio.new_event_loop()
             # The semaphore must be created on the service loop.
             self._semaphore = asyncio.Semaphore(self.max_parallel)
@@ -96,20 +129,79 @@ class CampaignService:
                 target=self._loop.run_forever,
                 name="repro-campaign-service", daemon=True)
             self._thread.start()
+        # Outside the lock: recovery resubmits through the normal path,
+        # which needs the loop (started above) and takes the lock itself.
+        self._recover()
         return self
 
+    def _recover(self) -> None:
+        """Replay the journal and resubmit jobs that never settled.
+
+        The previous incarnation crashed (or was SIGKILLed) with these
+        jobs queued or running; their shard checkpoints are still in the
+        tier, so the resubmitted runs recompute only what is missing.
+        The journal is compacted before resubmission — the recovered
+        jobs are re-journaled as fresh submissions with a
+        ``recovered_from`` pointer to their old id.
+        """
+        if self.journal is None:
+            return
+        replay = self.journal.replay()
+        self.last_recovery = {
+            "recovered_jobs": 0,
+            "clean_shutdown": replay.clean_shutdown,
+            "replayed": replay.replayed,
+            "settled": replay.settled,
+            "corrupt_lines": replay.corrupt_lines,
+            "invalid_specs": 0,
+        }
+        if replay.replayed or replay.corrupt_lines:
+            self.journal.reset()
+        for info in replay.unsettled:
+            try:
+                spec = JobSpec.from_dict(dict(info["spec"]))
+                job, coalesced = self.submit_detailed(
+                    spec, recovered_from=str(info["job_id"]))
+            except (ValueError, KeyError, TypeError):
+                # A spec this incarnation cannot parse (foreign field,
+                # retired scenario) is dropped, not fatal: recovery must
+                # never prevent the service from starting.
+                self.last_recovery["invalid_specs"] += 1
+                continue
+            if not coalesced:
+                job.recovered = True
+                self.last_recovery["recovered_jobs"] += 1
+
     def stop(self, timeout: Optional[float] = 30.0) -> None:
-        """Drain running jobs, then stop the loop thread."""
+        """Drain running jobs, journal a clean shutdown, stop the loop.
+
+        New submissions are refused (``ServiceDraining``) the moment stop
+        begins.  The clean ``shutdown`` marker is only written when every
+        job actually settled within *timeout* — an incomplete drain must
+        look like a crash to the next start so it recovers the stragglers.
+        """
         with self._lock:
+            self._draining = True
             loop, thread = self._loop, self._thread
-            self._loop = self._thread = self._semaphore = None
         if loop is None:
             return
-        self.wait(timeout=timeout)
+        drained = self.wait(timeout=timeout)
+        with self._lock:
+            if self._loop is not loop:
+                return  # a concurrent stop() won the race and finished
+            self._loop = self._thread = self._semaphore = None
+        if drained and self.journal is not None:
+            self.journal.record("shutdown", clean=True)
         loop.call_soon_threadsafe(loop.stop)
         if thread is not None:
             thread.join(timeout=5.0)
         loop.close()
+
+    @property
+    def draining(self) -> bool:
+        """Whether the service is refusing new work pending shutdown."""
+        with self._lock:
+            return self._draining
 
     def __enter__(self) -> "CampaignService":
         return self.start()
@@ -129,7 +221,9 @@ class CampaignService:
         """
         return self.submit_detailed(spec)[0]
 
-    def submit_detailed(self, spec: JobSpec) -> Tuple[Job, bool]:
+    def submit_detailed(self, spec: JobSpec,
+                        recovered_from: Optional[str] = None
+                        ) -> Tuple[Job, bool]:
         """:meth:`submit`, also reporting whether *this* call coalesced.
 
         The flag comes straight from the queue's atomic submit — callers
@@ -138,12 +232,26 @@ class CampaignService:
         """
         with self._lock:
             loop = self._loop
+            draining = self._draining
         if loop is None:
             raise ServiceError("service is not running; call start() first")
+        if draining:
+            raise ServiceDraining("service is draining; resubmit after "
+                                  "restart")
         if spec.backend is None and self.default_backend is not None:
             spec = dataclasses.replace(spec, backend=self.default_backend)
         job, created = self.queue.submit(spec)
         if created:
+            # WAL discipline: the submission is durable *before* the
+            # compute is scheduled, so a crash between here and settle
+            # leaves a replayable record.
+            if self.journal is not None:
+                fields: Dict[str, object] = {
+                    "job_id": job.id, "fingerprint": job.fingerprint,
+                    "spec": job.spec.as_dict()}
+                if recovered_from is not None:
+                    fields["recovered_from"] = recovered_from
+                self.journal.record("submitted", **fields)
             future = asyncio.run_coroutine_threadsafe(
                 self._run_job(job), loop)
             with self._lock:
@@ -162,15 +270,46 @@ class CampaignService:
     # Execution
     # ------------------------------------------------------------------
     async def _run_job(self, job: Job) -> None:
-        assert self._semaphore is not None
-        async with self._semaphore:
+        semaphore = self._semaphore
+        assert semaphore is not None
+        remaining = job.deadline_remaining()
+        if remaining is not None and remaining <= 0:
+            self._settle_cancelled(job, "deadline exceeded before start")
+            return
+        try:
+            await asyncio.wait_for(semaphore.acquire(), timeout=remaining)
+        except asyncio.TimeoutError:
+            self._settle_cancelled(job, "deadline exceeded while queued")
+            return
+        try:
             await asyncio.to_thread(self._execute, job)
+        finally:
+            semaphore.release()
+
+    def _settle_cancelled(self, job: Job, reason: str) -> None:
+        self.queue.cancel(job, reason)
+        if self.journal is not None:
+            self.journal.record("cancelled", job_id=job.id, reason=reason)
 
     def _execute(self, job: Job) -> None:
+        if job.done_event.is_set():
+            # Cancelled while waiting on the semaphore (client ask) —
+            # nothing to run.
+            return
         self.queue.mark_running(job)
+        if self.journal is not None:
+            self.journal.record("running", job_id=job.id)
 
         def monitor(design: str, done: int, total: int) -> None:
             job.progress[design] = {"done": done, "total": total}
+            # Cooperative teardown: cancellation and deadlines are
+            # observed at progress ticks (every shard / backend
+            # interval), the natural safe points of a campaign.
+            if job.cancel_event.is_set():
+                raise _JobInterrupted("cancelled")
+            remaining = job.deadline_remaining()
+            if remaining is not None and remaining <= 0:
+                raise _JobInterrupted("deadline exceeded")
 
         try:
             report = run_scenario(
@@ -178,11 +317,40 @@ class CampaignService:
                 flow_cache=self.tier.flow_store if self.tier else None,
                 progress_callback=monitor,
                 **job.spec.overrides())
+        except ChaosCrash:
+            # The chaos harness simulating a hard service crash: like a
+            # real SIGKILL the job must never settle — only the journal
+            # knows about it, and the next start recovers it.
+            raise
+        except _JobInterrupted as exc:
+            self._settle_cancelled(job, str(exc))
         except Exception as exc:
             tail = traceback.format_exception_only(type(exc), exc)[-1].strip()
             self.queue.fail(job, tail)
+            if self.journal is not None:
+                self.journal.record("failed", job_id=job.id, error=tail)
         else:
             self.queue.finish(job, report)
+            if self.journal is not None:
+                self.journal.record("done", job_id=job.id)
+
+    # ------------------------------------------------------------------
+    # Cancellation
+    # ------------------------------------------------------------------
+    def cancel(self, job_id: str, reason: str = "cancelled by client"
+               ) -> Job:
+        """Cancel a job; settles immediately when it has not started.
+
+        A *running* job only gets its cancel event set here — the worker
+        observes it at the next progress tick and settles the job itself
+        (cooperative teardown).  Raises :class:`KeyError` for unknown ids.
+        """
+        job = self.queue.get(job_id)
+        if job.state == JobState.PENDING:
+            self._settle_cancelled(job, reason)
+        elif job.state == JobState.RUNNING:
+            job.cancel_event.set()
+        return job
 
     # ------------------------------------------------------------------
     # Introspection
@@ -208,7 +376,10 @@ class CampaignService:
     def stats(self) -> Dict[str, object]:
         out: Dict[str, object] = {"queue": self.queue.stats(),
                                   "max_parallel": self.max_parallel,
-                                  "default_backend": self.default_backend}
+                                  "default_backend": self.default_backend,
+                                  "draining": self.draining}
+        if self.last_recovery:
+            out["recovery"] = dict(self.last_recovery)
         if self.tier is not None:
             out["tier"] = self.tier.summary()
         return out

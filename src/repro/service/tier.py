@@ -50,6 +50,7 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..pnr.artifacts import FlowArtifactStore
+from . import chaos
 
 #: Bump when a persisted payload's layout changes; old entries then miss
 #: instead of resurrecting incompatible pickles.
@@ -63,6 +64,7 @@ GOLDEN_NAMESPACE = "golden"
 DEFEAT_MAP_NAMESPACE = "defeat-map"
 FAULT_LIST_NAMESPACE = "fault-list"
 FLOW_NAMESPACE = "flow"
+SHARD_NAMESPACE = "shard-verdicts"
 
 _PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
 
@@ -80,10 +82,14 @@ class TierStats:
     fault_list_hits: int = 0
     fault_list_misses: int = 0
     fault_list_stores: int = 0
+    shard_hits: int = 0
+    shard_misses: int = 0
+    shard_stores: int = 0
     corrupt_evictions: int = 0
     lru_evictions: int = 0
     bytes_evicted: int = 0
     store_failures: int = 0
+    orphan_tmp_removed: int = 0
 
     def __post_init__(self) -> None:
         # Counters are bumped from concurrent service jobs; a bare
@@ -101,7 +107,13 @@ class TierStats:
             return dataclasses.asdict(self)
 
     def hit_rate(self) -> float:
-        """Aggregate artefact hit rate (flow-store hits tracked separately)."""
+        """Aggregate artefact hit rate (flow-store hits tracked separately).
+
+        Shard-checkpoint counters are deliberately excluded: checkpoints
+        only hit when a campaign *resumes* after a crash, so counting
+        their routine cold misses would dilute the warm-cache rate the
+        service benchmarks gate on.
+        """
         hits = self.golden_hits + self.defeat_map_hits \
             + self.fault_list_hits
         total = hits + self.golden_misses + self.defeat_map_misses \
@@ -160,6 +172,7 @@ class PersistentStore:
             "payload": payload,
         }
         try:
+            chaos.before_tier_write(namespace)
             path.parent.mkdir(parents=True, exist_ok=True)
             handle = tempfile.NamedTemporaryFile(
                 dir=path.parent, prefix=f".{key[:8]}.", suffix=".tmp",
@@ -176,6 +189,7 @@ class PersistentStore:
             # the artefact came from; it is merely not persisted.
             self.stats.bump("store_failures")
             return False
+        chaos.after_tier_write(namespace, path)
         return True
 
     def _evict(self, path: Path) -> None:
@@ -209,6 +223,30 @@ class SharedCacheTier:
         #: serializes eviction scans (reads/writes need no lock: atomic
         #: replace + corrupt-entry eviction already tolerate races)
         self._evict_lock = threading.Lock()
+        self._sweep_orphan_tmp()
+
+    def _sweep_orphan_tmp(self) -> int:
+        """Remove ``*.tmp`` files left behind by crashed writers.
+
+        Atomic stores stage through a temp file and ``os.replace``; a
+        writer killed between the two leaves the temp file orphaned
+        forever (it is never read — only ``.pkl`` entries are).  Startup
+        is the safe moment to sweep them: a *live* concurrent writer's
+        temp file exists only for the milliseconds between create and
+        replace, and losing that race merely costs the writer one
+        ``store_failures``-counted retry-less store — never the
+        computation, never a corrupt entry.
+        """
+        removed = 0
+        for path in self.root.glob("**/*.tmp"):
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+        if removed:
+            self.stats.bump("orphan_tmp_removed", removed)
+        return removed
 
     # ------------------------------------------------------------------
     @property
@@ -293,6 +331,28 @@ class SharedCacheTier:
                                fault_list)
         if ok:
             self.stats.bump("fault_list_stores")
+            self.enforce_budget()
+        return ok
+
+    # ------------------------------------------------------------------
+    def load_shard_verdicts(self, key: str) -> Optional[object]:
+        """A persisted shard checkpoint (completed shard's verdicts).
+
+        Keys are built by the sharded backend from the campaign's
+        content digest plus the shard schedule position, so a checkpoint
+        can only ever resume the exact task slice it was computed from.
+        """
+        payload = self._store.load(SHARD_NAMESPACE, key)
+        if payload is None:
+            self.stats.bump("shard_misses")
+            return None
+        self.stats.bump("shard_hits")
+        return payload
+
+    def store_shard_verdicts(self, key: str, payload: object) -> bool:
+        ok = self._store.store(SHARD_NAMESPACE, key, payload)
+        if ok:
+            self.stats.bump("shard_stores")
             self.enforce_budget()
         return ok
 

@@ -46,7 +46,7 @@ def tiny_spec(**overrides) -> JobSpec:
     return JobSpec("table3-fir", **defaults)
 
 
-def _die_in_worker(shard):
+def _die_in_worker(shard_index, shard):
     # Module-level so the executor can pickle it by reference; a test-local
     # closure would fail to serialize instead of exercising the crash path.
     os._exit(13)
@@ -357,13 +357,45 @@ class TestShardedBackend:
                               backend="serial")
         assert result.effect_table() == serial.effect_table()
 
-    def test_killed_worker_surfaces_not_hangs(self, tiny_fir_implementation,
-                                              monkeypatch):
+    def test_killed_workers_self_heal_via_degradation(
+            self, tiny_fir_implementation, monkeypatch):
+        # Every worker dies hard on every shard; supervision must retry,
+        # respawn the pool, exhaust the retry budget and degrade the
+        # shards inline — the campaign completes with results identical
+        # to serial, and the whole ordeal lands in last_run_stats.
         from repro.faults import engine
 
         monkeypatch.setattr(engine, "_run_task_shard", _die_in_worker)
-        backend = ShardedBackend(workers=2, min_tasks=0)
-        with pytest.raises(CampaignWorkerError, match="worker died"):
+        backend = ShardedBackend(workers=2, min_tasks=0,
+                                 max_shard_retries=1, retry_backoff_s=0.01)
+        sharded = run_campaign(tiny_fir_implementation, self.CONFIG,
+                               backend=backend)
+        stats = backend.last_run_stats
+        assert stats["retries"] >= 1
+        assert stats["degradations"]
+        assert all(entry["to"].startswith("inline:")
+                   for entry in stats["degradations"])
+        serial = run_campaign(tiny_fir_implementation, self.CONFIG,
+                              backend="serial")
+        assert sharded.wrong_answers == serial.wrong_answers
+        assert sharded.effect_table() == serial.effect_table()
+
+    def test_exhausted_degradation_surfaces_not_hangs(
+            self, tiny_fir_implementation, monkeypatch):
+        # Only when workers die AND every inline fallback fails may the
+        # campaign abort — and it must do so loudly, never hang.
+        from repro.faults import engine
+
+        def broken_inline(inner, context, shard):
+            raise ValueError("inline evaluation broken too")
+
+        monkeypatch.setattr(engine, "_run_task_shard", _die_in_worker)
+        monkeypatch.setattr(engine, "_evaluate_shard_locally",
+                            broken_inline)
+        backend = ShardedBackend(workers=2, min_tasks=0,
+                                 max_shard_retries=0, retry_backoff_s=0.01)
+        with pytest.raises(CampaignWorkerError,
+                           match="degradation fallback"):
             run_campaign(tiny_fir_implementation, self.CONFIG,
                          backend=backend)
 
