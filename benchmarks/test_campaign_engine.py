@@ -56,10 +56,15 @@ NUMPY_SATURATED_FAULTS = int(
     os.environ.get("REPRO_BENCH_NUMPY_FAULTS", "1000000"))
 
 #: Required throughput speedup of the numpy backend at the saturating
-#: count, on the best design (locally the TMR filter sustains 100x+;
-#: relaxed on shared CI runners).
+#: count, on the best design (relaxed on shared CI runners).
+#: Recalibrated from 60 when the fault-list/resource tables moved onto
+#: the shared per-layout cache: the seed serial loop — the denominator
+#: of every normalized speedup here — builds its fault list ~2x faster
+#: now (the enumeration tables are built once per device instead of
+#: once per FaultListManager), so the ratio shrank from ~100-130x to
+#: ~60-66x with the numpy kernel's absolute throughput unchanged.
 NUMPY_MIN_SPEEDUP = float(
-    os.environ.get("REPRO_BENCH_NUMPY_MIN_SPEEDUP", "60.0"))
+    os.environ.get("REPRO_BENCH_NUMPY_MIN_SPEEDUP", "50.0"))
 
 #: Mean-lane-utilization floor for the cross-cone packer.
 NUMPY_UTILIZATION_FLOOR = float(

@@ -67,8 +67,12 @@ SERVICE_FAULTS = int(os.environ.get("REPRO_BENCH_SERVICE_FAULTS", "100"))
 
 #: Required aggregate speedup of the warm wave over the cold wave (the
 #: service acceptance bar; relaxed on noisy shared runners via the knob).
+#: Recalibrated from 3.0 when the parallel cold flow landed: the cold
+#: wave itself got ~2x faster (batched router, vectorized defeat maps),
+#: so the warm-over-cold ratio shrank even though warm latency did not
+#: regress.  2.0 still catches a warm path degenerating to cold cost.
 MIN_WARM_SPEEDUP = float(
-    os.environ.get("REPRO_BENCH_SERVICE_MIN_WARM_SPEEDUP", "3.0"))
+    os.environ.get("REPRO_BENCH_SERVICE_MIN_WARM_SPEEDUP", "2.0"))
 
 #: Ceiling on the warm wave's p99 per-job latency, seconds.  Generous —
 #: it exists to catch a warm path that degenerated to cold-path cost,

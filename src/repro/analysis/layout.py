@@ -47,12 +47,19 @@ import dataclasses
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, \
     Set, Tuple
 
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the numpy-less CI leg
+    _np = None
+
 from ..core.analysis import RobustnessEstimate, compute_voter_regions, \
     domain_of_net
 from ..core.tmr import DOMAIN_SUFFIXES
 from ..core.voters import VOTED_NET_PROPERTY, VOTER_PROPERTY, is_voter
+from ..faults import categories
 from ..faults.fault_list import FaultList, FaultListManager
-from ..faults.models import FaultEffect, FaultModeler
+from ..faults.models import FaultEffect, FaultModeler, _LUT_PIN_TO_SLOT
+from ..fpga.config import KIND_LUT_BIT, KIND_PIP
 from ..pnr.flow import Implementation
 from ..sim.compile import CompiledDesign
 
@@ -166,6 +173,29 @@ class DefeatMap:
         }
 
 
+def _fast_prediction(bit: int, resource_kind: str, category: str,
+                     classification: str, has_effect: bool, detail: str,
+                     domains: Tuple[int, ...] = (),
+                     barriers: Tuple[str, ...] = (),
+                     reaches_output: bool = False) -> BitPrediction:
+    """Construct a :class:`BitPrediction` without the frozen-dataclass
+    ``object.__setattr__``-per-field cost.
+
+    The bulk classifier builds one prediction per fault-list bit — tens
+    of thousands per design — and the nine guarded field assignments of
+    the generated ``__init__`` dominate that loop.  Field-by-field this
+    is exactly the ordinary constructor (``__eq__``/pickle read the same
+    instance ``__dict__``).
+    """
+    prediction = object.__new__(BitPrediction)
+    prediction.__dict__.update(
+        bit=bit, resource_kind=resource_kind, category=category,
+        classification=classification, has_effect=has_effect,
+        detail=detail, domains=domains, barriers=barriers,
+        reaches_output=reaches_output)
+    return prediction
+
+
 @dataclasses.dataclass(frozen=True)
 class _TaintSummary:
     """Forward closure of one seed net, with voters absorbing."""
@@ -196,8 +226,8 @@ class LayoutAnalyzer:
     def __init__(self, implementation: Implementation,
                  compiled: Optional[CompiledDesign] = None,
                  modeler: Optional[FaultModeler] = None,
-                 effect_lookup: Optional[Callable[[int], FaultEffect]] = None
-                 ) -> None:
+                 effect_lookup: Optional[Callable[[int], FaultEffect]] = None,
+                 vectorize: Optional[bool] = None) -> None:
         self.implementation = implementation
         self.compiled = compiled if compiled is not None else \
             CompiledDesign(implementation.design)
@@ -207,6 +237,18 @@ class LayoutAnalyzer:
             else self.modeler.effect_of_bit
         self._build_structure()
         self._taint_memo: Dict[int, _TaintSummary] = {}
+        # Vectorized taint propagation (default wherever numpy imports):
+        # per-net closure bitsets swept over the whole net graph at once.
+        # The per-seed python flood below stays as the numpy-less fallback
+        # and the equivalence reference.
+        if vectorize is None:
+            vectorize = _np is not None
+        self._vectorized = bool(vectorize) and _np is not None
+        self._closure = None
+        self._rows: Optional[List[int]] = None
+        self._union_memo: Dict[int, Tuple] = {}
+        self._signature_memo: Dict[object, Tuple] = {}
+        self._sink_sig_memo: Dict[Tuple[str, object], Tuple] = {}
 
     # ------------------------------------------------------------------
     def _build_structure(self) -> None:
@@ -286,6 +328,194 @@ class LayoutAnalyzer:
         return memo
 
     # ------------------------------------------------------------------
+    # Vectorized taint propagation
+    # ------------------------------------------------------------------
+    def _closure_bits(self):
+        """Per-net taint-closure bitsets, swept with numpy all at once.
+
+        Bit layout per net: one bit per redundant domain value present in
+        the design, one ``reaches_output`` bit, then one bit per (voter
+        gate, input position) slot.  ``closure[n]`` is the union of the
+        local bits of every net reachable from ``n`` through non-voter
+        gates and flip-flops — exactly the information
+        :meth:`_taint_of_net`'s flood summarizes, for *all* seed nets in
+        one fixpoint sweep over the sparse int-indexed net adjacency.
+        """
+        if self._closure is not None:
+            return self._closure
+        compiled = self.compiled
+        num_nets = compiled.num_nets
+
+        self._domain_values = sorted(
+            {domain for domain in self._net_domain if domain is not None})
+        domain_bit = {domain: index
+                      for index, domain in enumerate(self._domain_values)}
+        output_bit = len(self._domain_values)
+        self._output_bit = output_bit
+
+        slot_gate: List[int] = []
+        slot_position: List[int] = []
+        local_bits: List[Tuple[int, int]] = []
+        for gate_index in sorted(self._voter_gates):
+            inputs = compiled.gates[gate_index].input_nets
+            for position, input_net in enumerate(inputs):
+                slot = output_bit + 1 + len(slot_gate)
+                slot_gate.append(gate_index)
+                slot_position.append(position)
+                if input_net >= 0:
+                    local_bits.append((input_net, slot))
+        self._slot_gate = slot_gate
+        self._slot_position = slot_position
+
+        for net, domain in enumerate(self._net_domain):
+            if domain is not None:
+                local_bits.append((net, domain_bit[domain]))
+        for net in self._output_nets:
+            local_bits.append((net, output_bit))
+
+        words = (output_bit + 1 + len(slot_gate) + 63) // 64
+        closure = _np.zeros((num_nets, words), dtype=_np.uint64)
+        for net, bit in local_bits:
+            closure[net, bit >> 6] |= _np.uint64(1 << (bit & 63))
+
+        edges: List[Tuple[int, int]] = []
+        for gate in compiled.gates:
+            if gate.index in self._voter_gates or gate.output_net < 0:
+                continue  # voters absorb the taint
+            for net in gate.input_nets:
+                if net >= 0:
+                    edges.append((net, gate.output_net))
+        for flip_flop in compiled.flip_flops:
+            if flip_flop.q_net < 0:
+                continue
+            for net in (flip_flop.d_net, flip_flop.ce_net,
+                        flip_flop.reset_net):
+                if net >= 0:
+                    edges.append((net, flip_flop.q_net))
+        if edges:
+            src = _np.asarray([edge[0] for edge in edges], dtype=_np.intp)
+            dst = _np.asarray([edge[1] for edge in edges], dtype=_np.intp)
+            while True:
+                previous = closure.copy()
+                _np.bitwise_or.at(closure, src, closure[dst])
+                if _np.array_equal(closure, previous):
+                    break
+        self._closure = closure
+        return closure
+
+    def _row_ints(self) -> List[int]:
+        """Each net's closure bitset as one python integer.
+
+        Overlay signatures union entry-net closures; with integer rows
+        that union is a single big-int OR per net (C speed) instead of
+        python set/dict merges, and equal unions — however the entry sets
+        differed — share one decoded verdict through ``_union_memo``.
+        """
+        rows = self._rows
+        if rows is None:
+            closure = self._closure_bits()
+            data = _np.ascontiguousarray(
+                closure.astype("<u8", copy=False)).tobytes()
+            stride = closure.shape[1] * 8
+            rows = [int.from_bytes(data[offset:offset + stride], "little")
+                    for offset in range(0, len(data), stride)]
+            self._rows = rows
+            self._slot_mask = {
+                (gate, position): 1 << (self._output_bit + 1 + slot)
+                for slot, (gate, position)
+                in enumerate(zip(self._slot_gate, self._slot_position))}
+            self._output_mask = 1 << self._output_bit
+        return rows
+
+    def _verdict(self, entries: Set[int],
+                 voter_pin_hits: Set[Tuple[int, int]],
+                 reaches_output: bool) -> Tuple:
+        """Memoized verdict of one overlay signature.
+
+        Bits sharing an overlay signature (same entry nets, same direct
+        voter-pin hits) share a verdict; the memo collapses the fault
+        list's many same-net PIP bits onto one closure decode.
+        """
+        key = (frozenset(entries), frozenset(voter_pin_hits),
+               reaches_output)
+        resolved = self._signature_memo.get(key)
+        if resolved is None:
+            resolved = self._classify_signature(entries, voter_pin_hits,
+                                                reaches_output)
+            self._signature_memo[key] = resolved
+        return resolved
+
+    def _classify_signature(self, entries: Set[int],
+                            voter_pin_hits: Set[Tuple[int, int]],
+                            reaches_output: bool) -> Tuple:
+        """Union the entry nets' decoded closure summaries into a verdict."""
+        rows = self._row_ints()
+        union = 0
+        for entry in entries:
+            union |= rows[entry]
+        if voter_pin_hits:
+            slot_mask = self._slot_mask
+            for hit in voter_pin_hits:
+                union |= slot_mask[hit]
+        if reaches_output:
+            union |= self._output_mask
+        return self._union_verdict(union)
+
+    def _union_verdict(self, union: int) -> Tuple:
+        """Memoized verdict of one closure-bitset union integer."""
+        resolved = self._union_memo.get(union)
+        if resolved is not None:
+            return resolved
+        output_bit = self._output_bit
+        domain_values = self._domain_values
+        slot_gate = self._slot_gate
+        slot_position = self._slot_position
+        domains: Set[int] = set()
+        corrupted_positions: Dict[int, Set[int]] = {}
+        reaches_output = False
+        remaining = union
+        while remaining:
+            low = remaining & -remaining
+            index = low.bit_length() - 1
+            remaining ^= low
+            if index < output_bit:
+                domains.add(domain_values[index])
+            elif index == output_bit:
+                reaches_output = True
+            else:
+                slot = index - output_bit - 1
+                corrupted_positions.setdefault(slot_gate[slot], set()).add(
+                    slot_position[slot])
+        resolved = self._resolve(domains, corrupted_positions,
+                                 reaches_output)
+        self._union_memo[union] = resolved
+        return resolved
+
+    def _resolve(self, domains: Set[int],
+                 corrupted_positions: Dict[int, Set[int]],
+                 reaches_output: bool) -> Tuple:
+        """Shared classification tail of the flood and vectorized paths."""
+        # A voter input position carries one redundant domain's copy.
+        defeated = False
+        for positions in corrupted_positions.values():
+            for position in positions:
+                if position < 3:
+                    domains.add(position)
+            if len(positions) >= 2:
+                defeated = True
+        barriers = tuple(sorted({self._voter_gates[gate_index]
+                                 for gate_index in corrupted_positions}))
+        if reaches_output or defeated:
+            classification = DEFEAT
+        elif corrupted_positions:
+            classification = CORRECTABLE
+        else:
+            # The taint dead-ended: no output, no voter — provably silent.
+            classification = SILENT
+        return (classification, tuple(sorted(domains)), barriers,
+                reaches_output)
+
+    # ------------------------------------------------------------------
     def _entry_nets(self, effect: FaultEffect
                     ) -> Tuple[Set[int], Set[Tuple[int, int]]]:
         """Nets that first carry a wrong value, plus direct voter-pin hits.
@@ -337,54 +567,402 @@ class LayoutAnalyzer:
                 has_effect=False, detail=effect.detail)
 
         entries, voter_pin_hits = self._entry_nets(effect)
-        domains: Set[int] = set()
-        voter_hits: Set[Tuple[int, int]] = set()
-        reaches_output = bool(overlay.output_pin_overrides)
-        for entry in sorted(entries):
-            summary = self._taint_of_net(entry)
-            domains.update(summary.domains)
-            voter_hits.update(summary.voter_hits)
-            reaches_output = reaches_output or summary.reaches_output
+        direct_output = bool(overlay.output_pin_overrides)
 
-        # Count *distinct corrupted input positions* per voter: a taint
-        # arriving on input net N and a pin override of the position that
-        # reads N are the same corrupted leg, not two.
-        corrupted_positions: Dict[int, Set[int]] = {}
-        for (gate_index, net) in voter_hits:
-            inputs = self.compiled.gates[gate_index].input_nets
-            positions = corrupted_positions.setdefault(gate_index, set())
-            positions.update(position for position, input_net
-                             in enumerate(inputs) if input_net == net)
-        for (gate_index, position) in voter_pin_hits:
-            corrupted_positions.setdefault(gate_index, set()).add(position)
-
-        # A voter input position carries one redundant domain's copy.
-        for positions in corrupted_positions.values():
-            domains.update(position for position in positions
-                           if position < 3)
-
-        defeated_voters = [gate_index for gate_index, positions
-                           in corrupted_positions.items()
-                           if len(positions) >= 2]
-        barriers = tuple(sorted({self._voter_gates[gate_index]
-                                 for gate_index in corrupted_positions}))
-
-        if reaches_output or defeated_voters:
-            classification = DEFEAT
-        elif corrupted_positions:
-            classification = CORRECTABLE
+        if self._vectorized:
+            resolved = self._verdict(entries, voter_pin_hits, direct_output)
         else:
-            # The taint dead-ended: no output, no voter — provably silent.
-            classification = SILENT
+            domains: Set[int] = set()
+            voter_hits: Set[Tuple[int, int]] = set()
+            reaches_output = direct_output
+            for entry in sorted(entries):
+                summary = self._taint_of_net(entry)
+                domains.update(summary.domains)
+                voter_hits.update(summary.voter_hits)
+                reaches_output = reaches_output or summary.reaches_output
+
+            # Count *distinct corrupted input positions* per voter: a
+            # taint arriving on input net N and a pin override of the
+            # position that reads N are the same corrupted leg, not two.
+            corrupted_positions: Dict[int, Set[int]] = {}
+            for (gate_index, net) in voter_hits:
+                inputs = self.compiled.gates[gate_index].input_nets
+                positions = corrupted_positions.setdefault(gate_index, set())
+                positions.update(position for position, input_net
+                                 in enumerate(inputs) if input_net == net)
+            for (gate_index, position) in voter_pin_hits:
+                corrupted_positions.setdefault(gate_index, set()).add(
+                    position)
+            resolved = self._resolve(domains, corrupted_positions,
+                                     reaches_output)
+
+        classification, domains_tuple, barriers, reaches_output = resolved
         return BitPrediction(
             bit=effect.bit, resource_kind=resource_kind,
             category=effect.category, classification=classification,
             has_effect=True, detail=effect.detail,
-            domains=tuple(sorted(domains)), barriers=barriers,
+            domains=domains_tuple, barriers=barriers,
             reaches_output=reaches_output)
 
     def classify_bit(self, bit: int) -> BitPrediction:
         return self.classify_effect(self._effect_of_bit(bit))
+
+    # ------------------------------------------------------------------
+    # Bulk classification
+    # ------------------------------------------------------------------
+    def _sink_signature(self, net_name: str, node) -> Tuple:
+        """What corrupting net *net_name* downstream of *node* can touch.
+
+        Returns ``(closure_union, num_sinks, num_overrides)`` — the
+        overlay signature the routing fault models would produce by
+        overriding every sink served through *node*, without
+        materializing the overlay.  ``closure_union`` is the OR of the
+        entry nets' closure-bitset integers (plus direct voter-pin slot
+        bits and the output bit), ready for :meth:`_union_verdict`;
+        ``num_sinks`` feeds the models' "N sink(s) ..." detail strings;
+        ``num_overrides`` tells whether the overlay would be non-empty
+        (sinks whose cell is absent from the compiled design attach no
+        override).  Memoized per (net, node): every candidate PIP bit
+        landing on the same routing node shares the answer.
+        """
+        key = (net_name, node)
+        signature = self._sink_sig_memo.get(key)
+        if signature is not None:
+            return signature
+        compiled = self.compiled
+        gate_index_of = compiled.gate_index_by_name.get
+        ff_index_of = compiled.ff_index_by_name.get
+        rows = self._row_ints()
+        slot_mask = self._slot_mask
+        union = 0
+        reaches_output = False
+        overrides = 0
+        specs = self.implementation.routing.routes[net_name] \
+            .sinks_through(node)
+        for spec in specs:
+            if spec.cell is None:
+                reaches_output = True
+                overrides += 1
+                continue
+            gate_index = gate_index_of(spec.cell)
+            if gate_index is not None:
+                overrides += 1
+                if gate_index in self._voter_gates:
+                    position = int(spec.port[1:]) \
+                        if spec.port.startswith("I") else 0
+                    union |= slot_mask[(gate_index, position)]
+                else:
+                    out = compiled.gates[gate_index].output_net
+                    if out >= 0:
+                        union |= rows[out]
+                continue
+            ff_index = ff_index_of(spec.cell)
+            if ff_index is not None:
+                overrides += 1
+                q_net = compiled.flip_flops[ff_index].q_net
+                if q_net >= 0:
+                    union |= rows[q_net]
+        if reaches_output:
+            union |= self._output_mask
+        signature = (union, len(specs), overrides)
+        self._sink_sig_memo[key] = signature
+        return signature
+
+    def _bulk_predictions(self, bits: Sequence[int]
+                          ) -> Dict[int, BitPrediction]:
+        """Classify a fault list without materializing per-bit overlays.
+
+        Mirrors the buckets of :class:`~repro.faults.models.FaultModeler`
+        bit for bit — same categories, same detail strings, same
+        silent/has-effect decisions — but resolves each bucket with
+        dictionary lookups and the memoized sink signatures instead of
+        building a :class:`FaultEffect`.  Slice-configuration bits (a
+        small minority with the most intricate modeling) still go
+        through the reference per-bit path.  The equivalence suite
+        asserts prediction-for-prediction equality against that path on
+        every design.
+        """
+        implementation = self.implementation
+        resources = implementation.resources
+        routing = implementation.routing
+        used_pips_get = resources.used_pips.get
+        node_owner_get = routing.node_owner.get
+        routes = routing.routes
+        gate_index_of = self.compiled.gate_index_by_name.get
+        gates = self.compiled.gates
+        lut_sites: Dict[Tuple[int, int, str], object] = {}
+        predictions: Dict[int, BitPrediction] = {}
+        layout = implementation.layout
+        resource_of = layout.resource_of
+        resource_memo_get = layout._resource_by_bit.get
+        sink_signature = self._sink_signature
+        sig_memo_get = self._sink_sig_memo.get
+        union_verdict = self._union_verdict
+        rows = self._row_ints()
+        # Memo hits are the overwhelmingly common case; look them up
+        # without a function call (verdict tuples are never empty, so
+        # ``or`` falls through exactly on a miss).
+        union_memo_get = self._union_memo.get
+        lut_site_at = resources.lut_site_at
+        slot_of_pin = _LUT_PIN_TO_SLOT.get
+        fast = _fast_prediction
+        new = object.__new__
+        cls = BitPrediction
+        KIND_PIP_, KIND_LUT_BIT_ = KIND_PIP, KIND_LUT_BIT
+        OPEN, CONFLICT, BRIDGE = categories.OPEN, categories.CONFLICT, \
+            categories.BRIDGE
+        ANTENNA, OTHERS, LUT = categories.INPUT_ANTENNA, categories.OTHERS, \
+            categories.LUT
+
+        def template(category: str, detail: str = "",
+                     kind: str = KIND_PIP) -> Dict[str, object]:
+            # Prebuilt __dict__ of a constant silent prediction; per bit
+            # the loop copies it and patches the bit address (and, for
+            # the per-bit-detail buckets, the detail string) in.
+            return {"bit": -1, "resource_kind": kind,
+                    "category": category, "classification": SILENT,
+                    "has_effect": False, "detail": detail, "domains": (),
+                    "barriers": (), "reaches_output": False}
+
+        silent_open = template(OPEN)
+        silent_conflict = template(CONFLICT)
+        silent_bridge = template(BRIDGE)
+        # Prebuilt __dict__ per distinct verdict, one table per bucket —
+        # upsets with the same verdict share everything except bit and
+        # detail.  Verdict tuples are interned in the union memo, so
+        # object identity is a valid (and hash-free) key.
+        open_tmpls: Dict[int, Dict[str, object]] = {}
+        conflict_tmpls: Dict[int, Dict[str, object]] = {}
+        bridge_tmpls: Dict[int, Dict[str, object]] = {}
+        antenna_tmpls: Dict[int, Dict[str, object]] = {}
+        lut_tmpls: Dict[int, Dict[str, object]] = {}
+
+        def verdict_template(table: Dict[int, Dict[str, object]],
+                             kind: str, category: str,
+                             verdict: Tuple) -> Dict[str, object]:
+            prebuilt = {"bit": -1, "resource_kind": kind,
+                        "category": category,
+                        "classification": verdict[0],
+                        "has_effect": True, "detail": "",
+                        "domains": verdict[1], "barriers": verdict[2],
+                        "reaches_output": verdict[3]}
+            table[id(verdict)] = prebuilt
+            return prebuilt
+
+        floating_bridge = template(
+            BRIDGE,
+            "used signal bridged to floating wire (no logical effect)")
+        both_unused = template(OTHERS, "both ends unused")
+        stray_wire = template(ANTENNA, "stray drive of an unused wire")
+        stray_control = template(ANTENNA,
+                                 "stray drive of an unused control pin")
+        stray_input = template(ANTENNA, "stray drive of an unused LUT input")
+        # Bridge bits into one destination node differ only in the
+        # intruding net's name: the verdict tail is shared.
+        bridge_tails: Dict[object, Tuple] = {}
+
+        for bit in bits:
+            resource = resource_memo_get(bit) or resource_of(bit)
+            kind = resource[0]
+            if kind == KIND_PIP_:
+                pip = (resource[1], resource[2])
+                source, destination = pip
+                used_net = used_pips_get(pip)
+                if used_net is not None:
+                    # Open: every sink through the destination floats.
+                    if used_net not in routes:
+                        predictions[bit] = fast(
+                            bit, kind, OPEN, SILENT, False,
+                            "route tree missing")
+                        continue
+                    sig = sig_memo_get((used_net, destination)) or \
+                        sink_signature(used_net, destination)
+                    detail = f"{sig[1]} sink(s) of {used_net} float"
+                    if not sig[2]:
+                        prediction = new(cls)
+                        contents = prediction.__dict__
+                        contents.update(silent_open)
+                        contents["bit"] = bit
+                        contents["detail"] = detail
+                        predictions[bit] = prediction
+                        continue
+                    verdict = union_memo_get(sig[0]) or union_verdict(sig[0])
+                    tmpl = open_tmpls.get(id(verdict)) or verdict_template(
+                        open_tmpls, kind, OPEN, verdict)
+                    prediction = new(cls)
+                    contents = prediction.__dict__
+                    contents.update(tmpl)
+                    contents["bit"] = bit
+                    contents["detail"] = detail
+                    predictions[bit] = prediction
+                    continue
+                source_net = node_owner_get(source)
+                dest_net = node_owner_get(destination)
+                if dest_net is not None and source_net is not None and \
+                        source_net != dest_net:
+                    if destination[0] == "wire":
+                        # Conflict: both nets' downstream sinks see it.
+                        category = CONFLICT
+                        dsig = None if dest_net not in routes else \
+                            sink_signature(dest_net, destination)
+                        ssig = None
+                        source_tree = routes.get(source_net)
+                        if source_tree is not None and \
+                                source in source_tree.nodes():
+                            ssig = sink_signature(source_net, source)
+                        if dsig is None:
+                            sig = ssig
+                        elif ssig is None:
+                            sig = dsig
+                        else:
+                            sig = (dsig[0] | ssig[0], dsig[1] + ssig[1],
+                                   dsig[2] + ssig[2])
+                        num_sinks = sig[1] if sig is not None else 0
+                        detail = (f"{num_sinks} sink(s) see the short of "
+                                  f"{source_net} and {dest_net}")
+                        prediction = new(cls)
+                        contents = prediction.__dict__
+                        if sig is None or not sig[2]:
+                            contents.update(silent_conflict)
+                        else:
+                            verdict = union_memo_get(sig[0]) or \
+                                union_verdict(sig[0])
+                            contents.update(
+                                conflict_tmpls.get(id(verdict))
+                                or verdict_template(conflict_tmpls, kind,
+                                                    category, verdict))
+                        contents["bit"] = bit
+                        contents["detail"] = detail
+                        predictions[bit] = prediction
+                        continue
+                    # Bridge: only the invaded input's net suffers; the
+                    # verdict tail is per destination, not per source.
+                    tail = bridge_tails.get(destination)
+                    if tail is None:
+                        dsig = None if dest_net not in routes else \
+                            sink_signature(dest_net, destination)
+                        if dsig is None or not dsig[2]:
+                            tail = (False, dsig[1] if dsig else 0, None)
+                        else:
+                            tail = (True, dsig[1], union_memo_get(dsig[0])
+                                    or union_verdict(dsig[0]))
+                        bridge_tails[destination] = tail
+                    has_effect, num_sinks, verdict = tail
+                    detail = (f"{num_sinks} sink(s) of {dest_net} "
+                              f"shorted with {source_net}")
+                    prediction = new(cls)
+                    contents = prediction.__dict__
+                    if not has_effect:
+                        contents.update(silent_bridge)
+                    else:
+                        contents.update(
+                            bridge_tmpls.get(id(verdict))
+                            or verdict_template(bridge_tmpls, kind,
+                                                BRIDGE, verdict))
+                    contents["bit"] = bit
+                    contents["detail"] = detail
+                    predictions[bit] = prediction
+                    continue
+                if dest_net is not None and source_net is None:
+                    prediction = new(cls)
+                    contents = prediction.__dict__
+                    contents.update(floating_bridge)
+                    contents["bit"] = bit
+                    predictions[bit] = prediction
+                    continue
+                if source_net is None or dest_net is not None:
+                    # Both ends unused — or both owned by the same net.
+                    prediction = new(cls)
+                    contents = prediction.__dict__
+                    contents.update(both_unused)
+                    contents["bit"] = bit
+                    predictions[bit] = prediction
+                    continue
+                # Antenna: a driven signal onto an unused node.
+                if destination[0] != "ipin":
+                    prediction = new(cls)
+                    contents = prediction.__dict__
+                    contents.update(stray_wire)
+                    contents["bit"] = bit
+                    predictions[bit] = prediction
+                    continue
+                _, x, y, pin = destination
+                slot_info = slot_of_pin(pin)
+                if slot_info is None:
+                    prediction = new(cls)
+                    contents = prediction.__dict__
+                    contents.update(stray_control)
+                    contents["bit"] = bit
+                    predictions[bit] = prediction
+                    continue
+                slot, position = slot_info
+                site_key = (x, y, slot)
+                if site_key not in lut_sites:
+                    lut_sites[site_key] = lut_site_at(x, y, slot)
+                site = lut_sites[site_key]
+                if site is None or position < site.logical_inputs:
+                    prediction = new(cls)
+                    contents = prediction.__dict__
+                    contents.update(stray_input)
+                    contents["bit"] = bit
+                    predictions[bit] = prediction
+                    continue
+                gate_index = gate_index_of(site.cell)
+                if gate_index is None:
+                    predictions[bit] = fast(
+                        bit, kind, ANTENNA, SILENT, False,
+                        "cell not in compiled design")
+                    continue
+                output_net = gates[gate_index].output_net
+                union = rows[output_net] if output_net >= 0 else 0
+                verdict = union_memo_get(union) or union_verdict(union)
+                prediction = new(cls)
+                contents = prediction.__dict__
+                contents.update(antenna_tmpls.get(id(verdict))
+                                or verdict_template(antenna_tmpls, kind,
+                                                    ANTENNA, verdict))
+                contents["bit"] = bit
+                contents["detail"] = \
+                    f"unused input of {site.cell} driven by {source_net}"
+                predictions[bit] = prediction
+                continue
+            if kind == KIND_LUT_BIT_:
+                _, x, y, slot, table_bit = resource
+                site_key = (x, y, slot)
+                if site_key not in lut_sites:
+                    lut_sites[site_key] = lut_site_at(x, y, slot)
+                site = lut_sites[site_key]
+                if site is None:
+                    predictions[bit] = fast(
+                        bit, kind, LUT, SILENT, False, "unused LUT site")
+                    continue
+                if table_bit >= (1 << site.logical_inputs):
+                    predictions[bit] = fast(
+                        bit, kind, LUT, SILENT, False,
+                        "upset in unused truth-table region")
+                    continue
+                gate_index = gate_index_of(site.cell)
+                if gate_index is None:
+                    predictions[bit] = fast(
+                        bit, kind, LUT, SILENT, False,
+                        "cell not in compiled design")
+                    continue
+                output_net = gates[gate_index].output_net
+                union = rows[output_net] if output_net >= 0 else 0
+                verdict = union_memo_get(union) or union_verdict(union)
+                prediction = new(cls)
+                contents = prediction.__dict__
+                contents.update(lut_tmpls.get(id(verdict))
+                                or verdict_template(lut_tmpls, kind,
+                                                    LUT, verdict))
+                contents["bit"] = bit
+                contents["detail"] = \
+                    f"minterm {table_bit} of {site.cell} flipped"
+                predictions[bit] = prediction
+                continue
+            # Slice configuration bits: reference per-bit path.
+            predictions[bit] = self.classify_bit(bit)
+        return predictions
 
     # ------------------------------------------------------------------
     def build_map(self, fault_list: Optional[FaultList] = None,
@@ -392,8 +970,11 @@ class LayoutAnalyzer:
         """Classify every bit of *fault_list* (built on demand)."""
         if fault_list is None:
             fault_list = FaultListManager(self.implementation).build(mode)
-        predictions = {bit: self.classify_bit(bit)
-                       for bit in fault_list.bits}
+        if self._vectorized:
+            predictions = self._bulk_predictions(fault_list.bits)
+        else:
+            predictions = {bit: self.classify_bit(bit)
+                           for bit in fault_list.bits}
         return DefeatMap(design=self.implementation.design.name,
                          mode=fault_list.mode, predictions=predictions)
 

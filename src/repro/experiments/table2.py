@@ -24,7 +24,10 @@ from .cli import add_flow_arguments  # noqa: F401
 def run_table2(suite: Optional[DesignSuite] = None,
                implementations: Optional[Dict[str, Implementation]] = None,
                scale: str = "fast", jobs: int = 1,
-               flow_cache: StoreLike = None) -> Dict[str, Dict[str, object]]:
+               flow_cache: StoreLike = None,
+               partitions: int = 1,
+               flow_threads: Optional[int] = None
+               ) -> Dict[str, Dict[str, object]]:
     """Compute the Table 2 analogue; returns one dict per design."""
     from ..pipeline import PipelineContext, pipeline_for, resources_analysis
 
@@ -34,6 +37,8 @@ def run_table2(suite: Optional[DesignSuite] = None,
         designs=DESIGN_ORDER,
         jobs=jobs,
         flow_cache=flow_cache,
+        anneal_partitions=partitions,
+        flow_threads=flow_threads,
     )
     ctx.suite = suite
     ctx.implementations = implementations
@@ -81,13 +86,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         report = run_scenario("table2-fir", scale=arguments.scale,
                               jobs=arguments.jobs,
-                              flow_cache=arguments.flow_cache)
+                              flow_cache=arguments.flow_cache,
+                              anneal_partitions=arguments.partitions,
+                              flow_threads=arguments.flow_threads)
         print(json.dumps(stable_report(report), indent=2, default=str,
                          sort_keys=True))
         return 0
 
     table = run_table2(scale=arguments.scale, jobs=arguments.jobs,
-                       flow_cache=arguments.flow_cache)
+                       flow_cache=arguments.flow_cache,
+                       partitions=arguments.partitions,
+                       flow_threads=arguments.flow_threads)
     print(format_report(table))
     return 0
 

@@ -27,9 +27,9 @@ import dataclasses
 import random
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from ..fpga.config import LUT_BITS, lut_bit, pip_resource, slice_cfg
+from ..fpga.config import LUT_BITS, lut_bit, slice_cfg
 from ..fpga.device import LUT_SLOTS, SLICE_INPUT_PINS
-from ..fpga.routing import Node, Pip, ipin, pips_into_tile
+from ..fpga.routing import Node, Pip, ipin
 from ..pnr.flow import Implementation
 from .seeds import substream
 
@@ -80,19 +80,31 @@ class FaultListManager:
         self.implementation = implementation
         self.layout = implementation.layout
         self.device = implementation.device
-        self._tile_pips_cache: Dict[Tuple[int, int], List[Pip]] = {}
 
     # --------------------------------------------------------------
     def _tile_pips(self, tile: Tuple[int, int]) -> List[Pip]:
-        if tile not in self._tile_pips_cache:
-            self._tile_pips_cache[tile] = pips_into_tile(self.device, *tile)
-        return self._tile_pips_cache[tile]
+        # Reuse the layout's per-tile cache: the layout instance is shared
+        # across all designs on one device profile, so tile enumerations
+        # done for bit assignment are not repeated per fault list.
+        return self.layout._tile_pips(*tile)
+
+    def _tile_fanin(self, tile: Tuple[int, int]
+                    ) -> Dict[Node, List[Tuple[Pip, int]]]:
+        # Destination node -> [(pip, bit address)], cached on the shared
+        # layout so repeated fault-list builds skip the enumeration.
+        return self.layout.pip_bits_by_destination(*tile)
 
     def _pips_into_node(self, node: Node) -> List[Pip]:
         from ..fpga.routing import node_tile
 
         tile = node_tile(self.device, node)
-        return [pip for pip in self._tile_pips(tile) if pip[1] == node]
+        return [pip for pip, _bit in self._tile_fanin(tile).get(node, [])]
+
+    def _bits_into_node(self, node: Node) -> List[int]:
+        from ..fpga.routing import node_tile
+
+        tile = node_tile(self.device, node)
+        return [bit for _pip, bit in self._tile_fanin(tile).get(node, [])]
 
     # --------------------------------------------------------------
     def build(self, mode: str = "design") -> FaultList:
@@ -129,30 +141,28 @@ class FaultListManager:
             bits.append(self.layout.bit_of(slice_cfg(x, y, "CLKINV")))
             composition["ff"] += 1
 
-        used_destinations = [node for node in resources.used_nodes
-                             if node[0] in ("wire", "ipin", "pad_i")]
-        seen_bits: Set[int] = set(bits)
-        for node in used_destinations:
-            for pip in self._pips_into_node(node):
-                bit = self.layout.bit_of(pip_resource(pip))
-                if bit not in seen_bits:
-                    seen_bits.add(bit)
-                    bits.append(bit)
-                    composition["routing"] += 1
+        # Every PIP bit belongs to exactly one destination node and the
+        # routing bit range of a tile is disjoint from its logic bits, so
+        # deduplication per *node* suffices (used_nodes is a dict — its
+        # keys are already unique).
+        for node in resources.used_nodes:
+            if node[0] in ("wire", "ipin", "pad_i"):
+                node_bits = self._bits_into_node(node)
+                bits.extend(node_bits)
+                composition["routing"] += len(node_bits)
 
         if mode == "extended":
             used_input_nodes = {node for node in resources.used_nodes
                                 if node[0] == "ipin"}
+            seen_nodes: Set[Node] = set()
             for (x, y) in resources.used_slices:
                 for pin in SLICE_INPUT_PINS:
                     node = ipin(x, y, pin)
-                    if node in used_input_nodes:
+                    if node in used_input_nodes or node in seen_nodes:
                         continue
-                    for pip in self._pips_into_node(node):
-                        bit = self.layout.bit_of(pip_resource(pip))
-                        if bit not in seen_bits:
-                            seen_bits.add(bit)
-                            bits.append(bit)
-                            composition["routing_unused_inputs"] += 1
+                    seen_nodes.add(node)
+                    node_bits = self._bits_into_node(node)
+                    bits.extend(node_bits)
+                    composition["routing_unused_inputs"] += len(node_bits)
 
         return FaultList(mode, bits, composition)

@@ -72,6 +72,10 @@ class ConfigLayout:
         self._tile_pip_cache: Dict[Tuple[int, int], List[Pip]] = {}
         self._tile_pip_index_cache: Dict[Tuple[int, int], Dict[Pip, int]] = {}
         self._tile_fanin_cache: Dict[Tuple[int, int], Dict[Tuple, int]] = {}
+        self._tile_pip_bits_cache: Dict[Tuple[int, int],
+                                        Dict[Tuple, List[Tuple[Pip, int]]]] \
+            = {}
+        self._resource_by_bit: Dict[int, Resource] = {}
         self.total_bits = self._assign_tiles()
 
     def __getstate__(self) -> Dict[str, object]:
@@ -83,6 +87,8 @@ class ConfigLayout:
         state["_tile_pip_cache"] = {}
         state["_tile_pip_index_cache"] = {}
         state["_tile_fanin_cache"] = {}
+        state["_tile_pip_bits_cache"] = {}
+        state["_resource_by_bit"] = {}
         return state
 
     # ------------------------------------------------------------------
@@ -161,6 +167,26 @@ class ConfigLayout:
             self._tile_fanin_cache[key] = counts
         return counts
 
+    def pip_bits_by_destination(self, x: int, y: int
+                                ) -> Dict[Tuple, List[Tuple[Pip, int]]]:
+        """Destination node -> [(pip, bit address)] for one tile.
+
+        The fault-list builder enumerates every candidate PIP bit of every
+        used destination node; pairing PIPs with their bit addresses once
+        per tile (in the canonical layout order) replaces a ``bit_of``
+        call per PIP with plain list iteration, and the layout-level cache
+        shares the result across every fault list built on the device.
+        """
+        key = (x, y)
+        fanin = self._tile_pip_bits_cache.get(key)
+        if fanin is None:
+            base = self._tile_base[key] + TILE_LOGIC_BITS
+            fanin = {}
+            for index, pip in enumerate(self._tile_pips(x, y)):
+                fanin.setdefault(pip[1], []).append((pip, base + index))
+            self._tile_pip_bits_cache[key] = fanin
+        return fanin
+
     # ------------------------------------------------------------------
     def bit_of(self, resource: Resource) -> int:
         """Global bit address of a resource."""
@@ -190,21 +216,31 @@ class ConfigLayout:
         raise KeyError(f"unknown resource kind {kind!r}")
 
     def resource_of(self, bit: int) -> Resource:
-        """Inverse mapping: which resource a bit address controls."""
+        """Inverse mapping: which resource a bit address controls.
+
+        Memoized a tile at a time: the fault models and the layout
+        analyzer resolve every bit of a fault list, and tiles worth of
+        consecutive bits share the bisect and the PIP enumeration.
+        """
+        cached = self._resource_by_bit.get(bit)
+        if cached is not None:
+            return cached
         if not 0 <= bit < self.total_bits:
             raise IndexError(f"bit {bit} outside configuration memory "
                              f"(0..{self.total_bits - 1})")
         tile_index = bisect.bisect_right(self._tile_starts, bit) - 1
         x, y = self._tile_order[tile_index]
-        offset = bit - self._tile_starts[tile_index]
-        if offset < LUT_BITS:
-            return lut_bit(x, y, "F", offset)
-        if offset < 2 * LUT_BITS:
-            return lut_bit(x, y, "G", offset - LUT_BITS)
-        if offset < TILE_LOGIC_BITS:
-            return slice_cfg(x, y, SLICE_CFG_BITS[offset - 2 * LUT_BITS])
-        pip = self._tile_pips(x, y)[offset - TILE_LOGIC_BITS]
-        return pip_resource(pip)
+        base = self._tile_starts[tile_index]
+        table = self._resource_by_bit
+        for offset in range(LUT_BITS):
+            table[base + offset] = lut_bit(x, y, "F", offset)
+            table[base + LUT_BITS + offset] = lut_bit(x, y, "G", offset)
+        for offset, name in enumerate(SLICE_CFG_BITS):
+            table[base + 2 * LUT_BITS + offset] = slice_cfg(x, y, name)
+        pip_base = base + TILE_LOGIC_BITS
+        for index, pip in enumerate(self._tile_pips(x, y)):
+            table[pip_base + index] = pip_resource(pip)
+        return table[bit]
 
     def routing_bit_count(self) -> int:
         """Total number of PIP bits in the device."""

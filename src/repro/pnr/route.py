@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import dataclasses
 import heapq
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..cells.library import FF_CELLS, LUT_CELLS
@@ -63,8 +65,15 @@ class RouteTree:
         return {(parent, node) for node, parent in self.parent.items()}
 
     def nodes(self) -> Set[Node]:
-        result = set(self.parent)
-        result.add(self.source)
+        # Memoized like children(): the routing-fault models probe node
+        # membership once per candidate bridge/conflict bit, and trees
+        # are immutable once the router returns them.  Callers must not
+        # mutate the returned set.
+        result = self.__dict__.get("_nodes")
+        if result is None:
+            result = set(self.parent)
+            result.add(self.source)
+            self._nodes = result
         return result
 
     def path_to(self, sink: Node) -> List[Node]:
@@ -95,9 +104,23 @@ class RouteTree:
         return children
 
     def sinks_through(self, node: Node) -> List[SinkSpec]:
-        """Sinks whose path from the source passes through *node*."""
+        """Sinks whose path from the source passes through *node*.
+
+        Memoized per node: the fault models ask the same question for
+        every candidate PIP bit landing on a node, which on dense tiles
+        repeats the subtree walk hundreds of times.  Callers must not
+        mutate the returned list.
+        """
+        memo = self.__dict__.get("_sinks_through")
+        if memo is None:
+            memo = {}
+            self._sinks_through = memo
+        cached = memo.get(node)
+        if cached is not None:
+            return cached
         if node != self.source and node not in self.parent:
-            return []
+            memo[node] = []
+            return memo[node]
         children = self.children()
         subtree = {node}
         stack = [node]
@@ -105,14 +128,19 @@ class RouteTree:
             for child in children.get(stack.pop(), ()):
                 subtree.add(child)
                 stack.append(child)
-        return [spec for sink_node, spec in self.sinks.items()
-                if sink_node in subtree]
+        result = [spec for sink_node, spec in self.sinks.items()
+                  if sink_node in subtree]
+        memo[node] = result
+        return result
 
     def __getstate__(self) -> Dict[str, object]:
         # Keep pickled artifacts (the flow cache) free of the lazily
-        # built child index; it is rebuilt on demand after loading.
+        # built child/membership/subtree indexes; they are rebuilt on
+        # demand after loading.
         state = self.__dict__.copy()
         state.pop("_children", None)
+        state.pop("_nodes", None)
+        state.pop("_sinks_through", None)
         return state
 
 
@@ -274,6 +302,23 @@ def extract_routing_problem(definition: Definition, pack_result: PackResult,
 # ----------------------------------------------------------------------
 # PathFinder-style router
 # ----------------------------------------------------------------------
+class _SearchState:
+    """Flat, epoch-stamped A* tables reused across searches.
+
+    Replacing the per-search cost/parent dictionaries with preallocated
+    lists removes the hash of every visited node id; bumping *epoch*
+    invalidates the whole table in O(1) instead of clearing it.
+    """
+
+    __slots__ = ("best", "came", "mark", "epoch")
+
+    def __init__(self, count: int) -> None:
+        self.best = [0.0] * count
+        self.came = [-1] * count
+        self.mark = [0] * count
+        self.epoch = 0
+
+
 class Router:
     """Negotiated-congestion router over the flat indexed routing graph.
 
@@ -294,7 +339,8 @@ class Router:
                  history_increment: float = 1.0,
                  allow_overuse: bool = False,
                  heuristic_weight: float = 1.3,
-                 bounding_box_margin: int = 3) -> None:
+                 bounding_box_margin: int = 3,
+                 threads: int = 1) -> None:
         self.device = device
         self.max_iterations = max_iterations
         self.present_factor = present_factor
@@ -306,8 +352,28 @@ class Router:
         #: exploration is confined to the net's bounding box plus this margin
         #: (the margin grows on later negotiation iterations)
         self.bounding_box_margin = bounding_box_margin
+        #: workers for routing independent nets of one rip-up wave
+        #: together (execution-only: the routed result is identical for
+        #: any value — see :meth:`_route_wave`)
+        self.threads = max(1, threads)
         self.graph: RoutingGraph = routing_graph(device)
+        # Pay the whole adjacency table up front in one bulk pass: it is
+        # several times cheaper than faulting it in node by node during
+        # the first nets' searches.
+        self.graph.build_adjacency()
+        #: numpy per-id tables for vectorized candidate masks (None
+        #: without numpy; the search then keeps its inline checks)
+        self._tables = self.graph.np_tables()
+        self._search_local = threading.local()
         self._extra_margin = 0
+
+    def _search_state(self) -> "_SearchState":
+        """Per-thread reusable A* tables (epoch-stamped, never cleared)."""
+        state = getattr(self._search_local, "state", None)
+        if state is None:
+            state = _SearchState(len(self.graph))
+            self._search_local.state = state
+        return state
 
     # --------------------------------------------------------------
     def route(self, requests: Sequence[NetRequest]) -> Tuple[
@@ -315,8 +381,14 @@ class Router:
         """Route all requests; returns (trees, iterations used)."""
         graph = self.graph
         is_wire = graph.is_wire
-        occupancy: Dict[int, int] = {}
+        #: flat per-id claim counts (dense: the scan for overused wires is
+        #: cheap next to one net's search)
+        occupancy: List[int] = [0] * len(graph)
         history: Dict[int, float] = {}
+        #: per-id ``1.0 + history`` — the step cost every unoccupied node
+        #: charges; updated only when history changes so the hot loop
+        #: reads one list element instead of hashing into a dict
+        base_cost: List[float] = [1.0] * len(graph)
         trees: Dict[str, RouteTree] = {}
         #: per-net id set mirroring ``trees[name].nodes()``
         tree_ids: Dict[str, Set[int]] = {}
@@ -329,24 +401,17 @@ class Router:
             iteration += 1
             # Congested designs get a progressively wider search window.
             self._extra_margin = 2 * (iteration - 1)
-            for request in to_route:
-                existing = tree_ids.pop(request.name, None)
-                if existing is not None:
-                    trees.pop(request.name)
-                    self._release(existing, occupancy)
-                tree, ids = self._route_net(request, occupancy, history,
-                                            present_factor)
-                trees[request.name] = tree
-                tree_ids[request.name] = ids
-                self._claim(ids, occupancy)
+            self._route_wave(to_route, trees, tree_ids, occupancy,
+                             base_cost, present_factor)
 
-            overused = {node_id for node_id, count in occupancy.items()
+            overused = {node_id for node_id, count in enumerate(occupancy)
                         if count > 1 and is_wire[node_id]}
             if not overused:
                 return trees, iteration
             for node_id in overused:
                 history[node_id] = history.get(node_id, 0.0) + \
                     self.history_increment
+                base_cost[node_id] = 1.0 + history[node_id]
             present_factor *= self.present_growth
             # Rip up and reroute only the nets that touch an overused
             # wire; everybody else keeps their tree and its claims.
@@ -354,7 +419,7 @@ class Router:
                         if tree_ids[request.name] & overused]
 
         if not self.allow_overuse:
-            overused = {node_id for node_id, count in occupancy.items()
+            overused = {node_id for node_id, count in enumerate(occupancy)
                         if count > 1 and is_wire[node_id]}
             raise RoutingError(
                 f"router failed to resolve congestion after "
@@ -363,21 +428,166 @@ class Router:
         return trees, iteration
 
     # --------------------------------------------------------------
-    def _claim(self, ids: Set[int], occupancy: Dict[int, int]) -> None:
-        for node_id in ids:
-            occupancy[node_id] = occupancy.get(node_id, 0) + 1
+    def _route_wave(self, to_route: List[NetRequest],
+                    trees: Dict[str, RouteTree],
+                    tree_ids: Dict[str, Set[int]],
+                    occupancy: List[int], base_cost: List[float],
+                    present_factor: float) -> None:
+        """Route one rip-up wave, batching independent nets.
 
-    def _release(self, ids: Set[int], occupancy: Dict[int, int]) -> None:
-        for node_id in ids:
-            remaining = occupancy.get(node_id, 0) - 1
-            if remaining <= 0:
-                occupancy.pop(node_id, None)
-            else:
-                occupancy[node_id] = remaining
+        The serial recipe releases and reroutes the wave's nets one at a
+        time.  A net's search only ever reads nodes inside its inflated
+        bounding box, so nets whose regions (box plus any pre-existing
+        tree extent) are pairwise disjoint cannot observe each other's
+        claims: expanding their frontiers concurrently and merging the
+        claims in wave order produces exactly the serial result.  Any net
+        that escalates to an unrestricted search (or fails) invalidates
+        that reasoning, so its group is rolled back to a snapshot and
+        replayed serially — correctness never rests on the grouping.
+        """
+        serial = self.threads <= 1 or len(to_route) < 2
+        index = 0
+        while index < len(to_route):
+            group = [to_route[index]] if serial else \
+                self._independent_group(to_route, index, tree_ids)
+            if len(group) < 2:
+                request = group[0]
+                self._reroute_serial(request, trees, tree_ids, occupancy,
+                                     base_cost, present_factor)
+                index += 1
+                continue
+            self._route_group(group, trees, tree_ids, occupancy,
+                              base_cost, present_factor)
+            index += len(group)
 
-    def _route_net(self, request: NetRequest, occupancy: Dict[int, int],
-                   history: Dict[int, float], present_factor: float
-                   ) -> Tuple[RouteTree, Set[int]]:
+    def _reroute_serial(self, request: NetRequest,
+                        trees: Dict[str, RouteTree],
+                        tree_ids: Dict[str, Set[int]],
+                        occupancy: List[int], base_cost: List[float],
+                        present_factor: float) -> None:
+        existing = tree_ids.pop(request.name, None)
+        if existing is not None:
+            trees.pop(request.name)
+            self._release(existing, occupancy)
+        tree, ids, _ = self._route_net(request, occupancy, base_cost,
+                                       present_factor)
+        trees[request.name] = tree
+        tree_ids[request.name] = ids
+        self._claim(ids, occupancy)
+
+    def _independent_group(self, to_route: List[NetRequest], start: int,
+                           tree_ids: Dict[str, Set[int]]
+                           ) -> List[NetRequest]:
+        """The longest prefix of mutually disjoint nets from *start*.
+
+        Disjointness is judged on conservative rectangles: the net's
+        inflated search box united with the tile extent of its existing
+        tree (whose release a concurrent peer must not be able to see).
+        """
+        graph = self.graph
+        tile_x = graph.tile_x
+        tile_y = graph.tile_y
+
+        def region(request: NetRequest) -> Tuple[int, int, int, int]:
+            min_x, min_y, max_x, max_y = self._net_bounding_box(request)
+            existing = tree_ids.get(request.name)
+            if existing:
+                for node_id in existing:
+                    x = tile_x[node_id]
+                    y = tile_y[node_id]
+                    min_x = x if x < min_x else min_x
+                    max_x = x if x > max_x else max_x
+                    min_y = y if y < min_y else min_y
+                    max_y = y if y > max_y else max_y
+            # Inflate by one tile: a search may touch pins of the tile
+            # just past a boundary wire.
+            return (min_x - 1, min_y - 1, max_x + 1, max_y + 1)
+
+        group = [to_route[start]]
+        regions = [region(to_route[start])]
+        limit = min(len(to_route), start + 4 * self.threads)
+        for request in to_route[start + 1:limit]:
+            candidate = region(request)
+            if any(not (candidate[2] < other[0] or other[2] < candidate[0]
+                        or candidate[3] < other[1]
+                        or other[3] < candidate[1])
+                   for other in regions):
+                break
+            group.append(request)
+            regions.append(candidate)
+        return group
+
+    def _route_group(self, group: List[NetRequest],
+                     trees: Dict[str, RouteTree],
+                     tree_ids: Dict[str, Set[int]],
+                     occupancy: List[int], base_cost: List[float],
+                     present_factor: float) -> None:
+        """Route a disjoint group concurrently, or replay it serially."""
+        snapshot = list(occupancy)
+        saved = {request.name: (tree_ids.get(request.name),
+                                trees.get(request.name))
+                 for request in group}
+        for request in group:
+            existing = tree_ids.pop(request.name, None)
+            if existing is not None:
+                trees.pop(request.name)
+                self._release(existing, occupancy)
+        results = None
+        try:
+            with ThreadPoolExecutor(max_workers=min(self.threads,
+                                                    len(group))) as pool:
+                futures = [pool.submit(self._route_net, request, occupancy,
+                                       base_cost, present_factor,
+                                       bounded_only=True)
+                           for request in group]
+                results = [future.result() for future in futures]
+        except RoutingError:
+            results = None
+        if results is not None and all(not escaped
+                                       for _, _, escaped in results):
+            # Fixed merge order (wave order) — claims are disjoint, so
+            # this matches the serial claim sequence exactly.
+            for request, (tree, ids, _) in zip(group, results):
+                trees[request.name] = tree
+                tree_ids[request.name] = ids
+                self._claim(ids, occupancy)
+            return
+        # A net needed the unrestricted fallback (or failed): restore the
+        # pre-group state and take the serial path, which reproduces the
+        # plain single-threaded semantics including error reporting.
+        occupancy[:] = snapshot
+        for request in group:
+            tree_ids.pop(request.name, None)
+            trees.pop(request.name, None)
+            existing_ids, existing_tree = saved[request.name]
+            if existing_ids is not None:
+                tree_ids[request.name] = existing_ids
+                trees[request.name] = existing_tree
+        for request in group:
+            self._reroute_serial(request, trees, tree_ids, occupancy,
+                                 base_cost, present_factor)
+
+    # --------------------------------------------------------------
+    def _claim(self, ids: Set[int], occupancy: List[int]) -> None:
+        for node_id in ids:
+            occupancy[node_id] += 1
+
+    def _release(self, ids: Set[int], occupancy: List[int]) -> None:
+        for node_id in ids:
+            if occupancy[node_id] > 0:
+                occupancy[node_id] -= 1
+
+    def _route_net(self, request: NetRequest, occupancy: List[int],
+                   base_cost: List[float], present_factor: float,
+                   bounded_only: bool = False
+                   ) -> Tuple[RouteTree, Set[int], bool]:
+        """Route one net; returns (tree, claimed ids, escaped-box flag).
+
+        With *bounded_only* the unrestricted fallback search is reported
+        (``escaped=True`` on a bounded miss) instead of executed — the
+        group router uses this to detect when its disjointness argument
+        no longer holds.
+        """
         graph = self.graph
         id_of = graph.node_id
         nodes = graph.nodes
@@ -399,18 +609,27 @@ class Router:
             + abs(tile_y[id_of[spec.node]] - source_y))
 
         bounding_box = self._net_bounding_box(request)
+        # Vectorized candidate mask of the box (None without numpy): one
+        # byte per node, nonzero when the node may not be expanded.
+        blocked = self._blocked_mask(bounding_box)
         for spec in ordered_sinks:
             target_id = id_of[spec.node]
             if target_id in tree_ids:
                 sink_map[spec.node] = spec
                 continue
-            path = self._find_path(tree_ids, target_id, occupancy, history,
-                                   present_factor, bounding_box)
+            path = self._find_path(tree_ids, target_id, occupancy,
+                                   base_cost, present_factor,
+                                   bounding_box, blocked)
             if path is None:
+                if bounded_only:
+                    return (RouteTree(request.name, request.source, parent,
+                                      sink_map), tree_ids, True)
                 # Retry once without the bounding-box restriction before
                 # declaring the sink unroutable.
-                path = self._find_path(tree_ids, target_id, occupancy,
-                                       history, present_factor, None)
+                path = self._find_path(
+                    tree_ids, target_id, occupancy, base_cost,
+                    present_factor, None,
+                    self._tables["sink_blocked"] if self._tables else None)
             if path is None:
                 raise RoutingError(
                     f"no path from {request.source} to {spec.node} "
@@ -425,7 +644,27 @@ class Router:
             sink_map[spec.node] = spec
 
         return RouteTree(request.name, request.source, parent,
-                         sink_map), tree_ids
+                         sink_map), tree_ids, False
+
+    def _blocked_mask(self, bounding_box: Tuple[int, int, int, int]
+                      ) -> Optional[bytes]:
+        """Per-node expansion blocks of one net, as a flat byte mask.
+
+        A node is blocked when it is a sink (the search special-cases its
+        own target) or a wire outside the net's box.  Computing this once
+        per net with numpy replaces two predicate checks per visited edge
+        in the hot loop; without numpy the loop keeps its inline checks.
+        """
+        tables = self._tables
+        if tables is None:
+            return None
+        min_x, min_y, max_x, max_y = bounding_box
+        tile_x = tables["tile_x"]
+        tile_y = tables["tile_y"]
+        outside = (tile_x < min_x) | (tile_x > max_x) \
+            | (tile_y < min_y) | (tile_y > max_y)
+        return ((tables["is_wire"] & outside)
+                | tables["is_sink"]).tobytes()
 
     def _net_bounding_box(self, request: NetRequest
                           ) -> Tuple[int, int, int, int]:
@@ -448,32 +687,44 @@ class Router:
         return (min_x, min_y, max_x, max_y)
 
     def _find_path(self, tree_ids: Set[int], target: int,
-                   occupancy: Dict[int, int], history: Dict[int, float],
+                   occupancy: List[int], base_cost: List[float],
                    present_factor: float,
-                   bounding_box: Optional[Tuple[int, int, int, int]]
-                   ) -> Optional[List[int]]:
+                   bounding_box: Optional[Tuple[int, int, int, int]],
+                   blocked: Optional[bytes]) -> Optional[List[int]]:
+        """A* from the existing tree to *target*.
+
+        The cost arithmetic, push order and tie-breaks are exactly the
+        seed recipe's (``base_cost[n]`` is the precomputed ``1.0 +
+        history``), so the returned path is bit-identical whether the
+        candidate test runs on the vectorized *blocked* mask or on the
+        inline predicate fallback below.
+        """
         graph = self.graph
         tile_x = graph.tile_x
         tile_y = graph.tile_y
-        is_sink = graph.is_sink
         is_wire = graph.is_wire
         is_pad_in = graph.is_pad_in
         adjacency = graph._adjacency
-        downhill_ids = graph.downhill_ids
         weight = self.heuristic_weight
         target_x = tile_x[target]
         target_y = tile_y[target]
 
-        came_from: Dict[int, int] = {}
-        best_cost: Dict[int, float] = {}
+        state = self._search_state()
+        state.epoch += 1
+        epoch = state.epoch
+        best = state.best
+        came = state.came
+        mark = state.mark
+
         frontier: List[Tuple[float, float, int, int]] = []
         counter = 0
         # Seed in sorted id order; ids are assigned in sorted node-tuple
         # order, so equal-cost heap pops match the seed router exactly and
         # never depend on the per-process hash seed.
         for node_id in sorted(tree_ids):
-            came_from[node_id] = -1
-            best_cost[node_id] = 0.0
+            mark[node_id] = epoch
+            came[node_id] = -1
+            best[node_id] = 0.0
             estimate = weight * (abs(tile_x[node_id] - target_x)
                                  + abs(tile_y[node_id] - target_y))
             heapq.heappush(frontier, (estimate, 0.0, counter, node_id))
@@ -481,32 +732,67 @@ class Router:
 
         # Hot loop: the helpers are inlined because this search dominates the
         # implementation runtime of large TMR designs.
-        infinity = float("inf")
         heappush = heapq.heappush
         heappop = heapq.heappop
-        occupancy_get = occupancy.get
-        history_get = history.get
-        best_get = best_cost.get
 
+        if blocked is not None:
+            while frontier:
+                _, cost_so_far, _, node_id = heappop(frontier)
+                if cost_so_far > best[node_id]:
+                    continue
+                if node_id == target:
+                    path = [node_id]
+                    current = node_id
+                    while came[current] >= 0:
+                        current = came[current]
+                        path.append(current)
+                    path.reverse()
+                    return path
+                for neighbor in adjacency[node_id]:
+                    if blocked[neighbor] and neighbor != target:
+                        continue
+                    step = base_cost[neighbor]
+                    usage = occupancy[neighbor]
+                    if usage:
+                        if is_wire[neighbor]:
+                            step += present_factor * usage
+                        else:
+                            step += 1000.0
+                    new_cost = cost_so_far + step
+                    if mark[neighbor] != epoch or new_cost < best[neighbor]:
+                        mark[neighbor] = epoch
+                        best[neighbor] = new_cost
+                        came[neighbor] = node_id
+                        counter += 1
+                        if is_pad_in[neighbor]:
+                            estimate = 0.0
+                        else:
+                            estimate = weight * (
+                                abs(tile_x[neighbor] - target_x)
+                                + abs(tile_y[neighbor] - target_y))
+                        heappush(frontier, (new_cost + estimate, new_cost,
+                                            counter, neighbor))
+            return None
+
+        # Pure-python fallback (no numpy): identical search with the two
+        # candidate predicates evaluated inline.
+        is_sink = graph.is_sink
         if bounding_box is not None:
             box_min_x, box_min_y, box_max_x, box_max_y = bounding_box
 
         while frontier:
             _, cost_so_far, _, node_id = heappop(frontier)
-            if cost_so_far > best_get(node_id, infinity):
+            if cost_so_far > best[node_id]:
                 continue
             if node_id == target:
                 path = [node_id]
                 current = node_id
-                while came_from[current] >= 0:
-                    current = came_from[current]
+                while came[current] >= 0:
+                    current = came[current]
                     path.append(current)
                 path.reverse()
                 return path
-            neighbors = adjacency[node_id]
-            if neighbors is None:
-                neighbors = downhill_ids(node_id)
-            for neighbor in neighbors:
+            for neighbor in adjacency[node_id]:
                 if is_sink[neighbor] and neighbor != target:
                     continue  # foreign sinks are not through-routing resources
                 if bounding_box is not None and is_wire[neighbor]:
@@ -514,17 +800,18 @@ class Router:
                             and box_min_y <= tile_y[neighbor]
                             <= box_max_y):
                         continue
-                step = 1.0 + history_get(neighbor, 0.0)
-                usage = occupancy_get(neighbor, 0)
+                step = base_cost[neighbor]
+                usage = occupancy[neighbor]
                 if usage:
                     if is_wire[neighbor]:
                         step += present_factor * usage
                     else:
                         step += 1000.0
                 new_cost = cost_so_far + step
-                if new_cost < best_get(neighbor, infinity):
-                    best_cost[neighbor] = new_cost
-                    came_from[neighbor] = node_id
+                if mark[neighbor] != epoch or new_cost < best[neighbor]:
+                    mark[neighbor] = epoch
+                    best[neighbor] = new_cost
+                    came[neighbor] = node_id
                     counter += 1
                     if is_pad_in[neighbor]:
                         estimate = 0.0
@@ -540,12 +827,21 @@ class Router:
 def route_design(definition: Definition, pack_result: PackResult,
                  placement: Placement, device: Device,
                  max_iterations: int = 12,
-                 allow_overuse: bool = False) -> RoutingResult:
-    """Extract the routing problem and run the negotiated-congestion router."""
+                 allow_overuse: bool = False,
+                 threads: Optional[int] = None) -> RoutingResult:
+    """Extract the routing problem and run the negotiated-congestion router.
+
+    *threads* (default: the ``REPRO_FLOW_THREADS`` knob) routes
+    independent nets of one rip-up wave concurrently; the routed result
+    is bit-identical for any value.
+    """
+    from .place import resolve_flow_threads
+
     requests, skipped, direct = extract_routing_problem(
         definition, pack_result, placement)
     router = Router(device, max_iterations=max_iterations,
-                    allow_overuse=allow_overuse)
+                    allow_overuse=allow_overuse,
+                    threads=resolve_flow_threads(threads))
     trees, iterations = router.route(requests)
 
     node_owner: Dict[Node, str] = {}

@@ -197,6 +197,59 @@ class TestLayoutAnalyzer:
         assert again is tmr_defeat_map
 
 
+class TestVectorizedAnalyzer:
+    """The vectorized map build is prediction-identical to the flood.
+
+    The closure/bitmask fast path rewrote the per-bit classification
+    loop; these tests pin it to the original per-net flood propagation:
+    the same prediction for every bit (classification, category,
+    domains, barriers, reach, detail) and therefore the same per-class
+    counts — so the prefilter and every robustness number are unchanged
+    by the optimization.
+    """
+
+    def _assert_equivalent(self, implementation):
+        flood = LayoutAnalyzer(implementation,
+                               vectorize=False).build_map()
+        vectorized = LayoutAnalyzer(implementation,
+                                    vectorize=True).build_map()
+        assert vectorized.predictions == flood.predictions
+        assert vectorized.counts() == flood.counts()
+        for cls in (SILENT, CORRECTABLE, DEFEAT):
+            assert vectorized.counts()[cls] == flood.counts()[cls]
+
+    def test_tmr_map_matches_flood(self, tiny_tmr_implementation):
+        self._assert_equivalent(tiny_tmr_implementation)
+
+    def test_unprotected_map_matches_flood(self, tiny_fir_implementation):
+        self._assert_equivalent(tiny_fir_implementation)
+
+    def test_unvoted_map_matches_flood(self, tiny_fir, tiny_tmr_suite):
+        # The no-voter worst case exercises the antenna/LUT buckets with
+        # no correctable class at all.
+        from repro.fpga import device_by_name
+        from repro.netlist import flatten
+        from repro.pnr import implement
+
+        netlist, _spec, _top, _components = tiny_fir
+        flat = flatten(netlist, tiny_tmr_suite["p3_nv"].definition,
+                       flat_name="fir_tiny_p3_nv_vec")
+        implementation = implement(flat, device_by_name("XC2S50E"),
+                                   anneal_moves_per_slice=2)
+        self._assert_equivalent(implementation)
+
+    def test_default_tracks_numpy_availability(self,
+                                               tiny_tmr_implementation):
+        from repro.analysis.layout import _np
+
+        analyzer = LayoutAnalyzer(tiny_tmr_implementation)
+        assert analyzer._vectorized == (_np is not None)
+        # Requesting vectorization without numpy degrades to the flood
+        # instead of failing, keeping the numpy-less environment green.
+        forced = LayoutAnalyzer(tiny_tmr_implementation, vectorize=True)
+        assert forced._vectorized == (_np is not None)
+
+
 class TestStaticPrefilter:
     @pytest.fixture(scope="class")
     def reference(self, tiny_tmr_implementation):
