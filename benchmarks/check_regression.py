@@ -401,6 +401,31 @@ def check_pipeline(report: dict, label: str = "pipeline") -> list:
     return problems
 
 
+def check_lint(report: dict, max_findings: int,
+               label: str = "lint") -> list:
+    """Gate a ``python -m repro.devtools.lint --format json`` report.
+
+    Parse errors are always fatal; unwaived findings are capped at
+    *max_findings* (0 in CI: the tree must be clean modulo the
+    checked-in, justified baseline).
+    """
+    problems = []
+    errors = report.get("errors", [])
+    for error in errors:
+        problems.append(f"{label}: {error.get('path')}: "
+                        f"{error.get('message')}")
+    findings = report.get("findings", [])
+    if len(findings) > max_findings:
+        problems.append(
+            f"{label}: {len(findings)} unwaived finding(s), "
+            f"allowed {max_findings}")
+        for finding in findings:
+            problems.append(
+                f"{label}:   {finding.get('path')}:{finding.get('line')} "
+                f"{finding.get('rule')} {finding.get('message')}")
+    return problems
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", type=Path, default=None,
@@ -459,6 +484,14 @@ def main(argv=None) -> int:
                         help="warm-run 'python -m repro run --repeat 2' "
                              "report to gate on pipeline-stage cache "
                              "reuse (repeatable)")
+    parser.add_argument("--lint-report", type=Path, default=None,
+                        metavar="LINT.json",
+                        help="'python -m repro.devtools.lint --format "
+                             "json' report to gate on unwaived invariant "
+                             "findings")
+    parser.add_argument("--max-lint-findings", type=int, default=0,
+                        help="allowed unwaived lint findings (default 0: "
+                             "clean modulo the justified baseline)")
     parser.add_argument("--tolerance", type=float, default=0.30,
                         help="allowed fractional drop of the best "
                         "speedup (default 0.30)")
@@ -477,12 +510,13 @@ def main(argv=None) -> int:
     if arguments.baseline is None and arguments.flow_baseline is None \
             and arguments.predict_baseline is None \
             and arguments.service_baseline is None \
-            and not arguments.pipeline_report:
+            and not arguments.pipeline_report \
+            and arguments.lint_report is None:
         parser.error("nothing to check: pass --baseline/--current, "
                      "--flow-baseline/--flow-current, "
                      "--predict-baseline/--predict-current, "
-                     "--service-baseline/--service-current and/or "
-                     "--pipeline-report")
+                     "--service-baseline/--service-current, "
+                     "--pipeline-report and/or --lint-report")
     if (arguments.baseline is None) != (arguments.current is None):
         parser.error("--baseline and --current must be given together")
     if (arguments.flow_baseline is None) != (arguments.flow_current is None):
@@ -606,6 +640,16 @@ def main(argv=None) -> int:
             f"{len(report_problems)} problem(s)"
         print(f"pipeline {path.name} ({report.get('scenario', '?')}): "
               f"cache reuse {status}")
+    if arguments.lint_report is not None:
+        lint = json.loads(arguments.lint_report.read_text())
+        lint_problems = check_lint(lint, arguments.max_lint_findings,
+                                   label=arguments.lint_report.name)
+        problems.extend(lint_problems)
+        print(f"lint {arguments.lint_report.name}: "
+              f"{len(lint.get('findings', []))} unwaived, "
+              f"{len(lint.get('waived', []))} waived finding(s) over "
+              f"{lint.get('files_checked', 0)} file(s): "
+              f"{'ok' if not lint_problems else 'FAIL'}")
     if problems:
         print("\nBenchmark regression detected:", file=sys.stderr)
         for problem in problems:

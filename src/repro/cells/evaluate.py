@@ -8,11 +8,11 @@ edge.  All functions operate on three-valued logic from
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from typing import Mapping, Optional
 
 from ..netlist.ir import Instance
 from . import logic
-from .library import FF_CELLS, LUT_CELLS, cell_info, lut_input_count
+from .library import FF_CELLS, LUT_CELLS, lut_input_count
 
 #: Default INIT used if a LUT instance is missing one (a buffer of I0).
 DEFAULT_LUT_INIT = 2  # O = I0 for a LUT1; harmless for larger LUTs

@@ -7,7 +7,7 @@ effects (floating inputs, driver conflicts) propagate pessimistically as X.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import List, Sequence
 
 ZERO = 0
 ONE = 1

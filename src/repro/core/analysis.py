@@ -14,13 +14,11 @@ from __future__ import annotations
 
 import dataclasses
 from collections import defaultdict
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from ..netlist.ir import Definition, Instance, InstancePin, Net, TopPin
-from ..netlist.traversal import net_driver_instances, net_sink_instances
 from .partition import is_register_component
-from .voters import DOMAIN_PROPERTY, VOTED_NET_PROPERTY, VOTER_PROPERTY, \
-    is_voter
+from .voters import DOMAIN_PROPERTY, VOTED_NET_PROPERTY, is_voter
 
 
 @dataclasses.dataclass

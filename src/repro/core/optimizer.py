@@ -12,7 +12,7 @@ candidates (this is the workflow the paper's conclusions recommend).
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..netlist.ir import Definition, Netlist
 from ..netlist.traversal import combinational_predecessors

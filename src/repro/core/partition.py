@@ -19,8 +19,7 @@ The three partitions evaluated in the paper map onto:
 from __future__ import annotations
 
 import abc
-import dataclasses
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Sequence, Set
 
 from ..cells.library import FF_CELLS
 from ..netlist.ir import Definition, Instance

@@ -22,15 +22,13 @@ of :class:`TMRConfig` over the same FIR netlist (see
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..cells.library import Library, shared_cell_library
-from ..netlist.ir import (Definition, Direction, Instance, InstancePin, Net,
-                          Netlist, NetlistError, TopPin)
+from ..netlist.ir import (Definition, Direction, Instance, InstancePin, Net, Netlist, NetlistError)
 from .partition import (NoPartition, PartitionStrategy, is_register_component,
                         register_components)
-from .voters import (DOMAIN_PROPERTY, VOTED_NET_PROPERTY, VOTER_PROPERTY,
-                     insert_majority_voter)
+from .voters import DOMAIN_PROPERTY, insert_majority_voter
 
 #: Number of redundant domains in triple modular redundancy.
 NUM_DOMAINS = 3

@@ -9,7 +9,7 @@ upsets, intermediate voters are triplicated — one voter per redundant domain
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..cells.library import Library, shared_cell_library
 from ..cells.lut import INIT_VOTER

@@ -1,0 +1,9 @@
+"""Developer tooling for the repro codebase (not part of the runtime API).
+
+:mod:`repro.devtools.lint` is the custom AST-based invariant analyzer
+(``python -m repro.devtools.lint src/``).  Nothing under this package is
+imported by the runtime layers; it exists so the repository's
+correctness discipline — determinism, concurrency, atomicity,
+picklability — is checked *before* code runs, not only by the
+equivalence tests after the fact.
+"""

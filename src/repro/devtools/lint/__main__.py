@@ -1,0 +1,15 @@
+"""Entry point for ``python -m repro.devtools.lint``."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    try:
+        exit_code = main()
+        sys.stdout.flush()
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not a lint failure.
+        sys.stderr.close()
+        exit_code = 0
+    sys.exit(exit_code)

@@ -1,0 +1,82 @@
+"""A-series checkers: atomic-write discipline.
+
+Tier entries, flow artifacts and the job journal survive crashes
+because every durable write stages through a temp file and
+``os.replace`` (plus ``fsync`` for the WAL).  A direct
+``open(path, "w")`` or ``pickle.dump`` onto a final path can be torn
+mid-write, leaving the corrupt-entry eviction heuristics as the only
+defence.  These rules flag raw writes whose enclosing function never
+calls ``os.replace`` — the signature of the atomic pattern.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from .context import ModuleContext
+from .model import Finding, LintConfig, RULES
+
+_WRITABLE_MODE_CHARS = ("w", "a", "x", "+")
+
+
+def _finding(ctx: ModuleContext, rule: str, node: ast.AST,
+             message: str) -> Finding:
+    return Finding(rule=rule, path=ctx.rel_path, line=node.lineno,
+                   col=node.col_offset, scope=ctx.qualname(node),
+                   message=message, hint=RULES[rule].hint)
+
+
+def _open_mode(node: ast.Call) -> Optional[str]:
+    """The literal mode string of an ``open`` call, if it has one."""
+    mode: Optional[ast.expr] = None
+    if len(node.args) >= 2:
+        mode = node.args[1]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if mode is None:
+        return "r"
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return mode.value
+    return None
+
+
+def _atomic_scopes(ctx: ModuleContext) -> Set[Optional[ast.AST]]:
+    """Functions (or the module) that call ``os.replace`` somewhere.
+
+    A raw write inside such a scope is the staging half of the atomic
+    temp-file + rename pattern, not a bypass.
+    """
+    scopes: Set[Optional[ast.AST]] = set()
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call) \
+                and ctx.dotted(node.func) == "os.replace":
+            scopes.add(ctx.enclosing_function(node))
+    return scopes
+
+
+def check_atomicity(ctx: ModuleContext,
+                    config: LintConfig) -> List[Finding]:
+    findings: List[Finding] = []
+    atomic = _atomic_scopes(ctx)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = ctx.dotted(node.func)
+        if dotted == "open" and config.enabled("A301"):
+            mode = _open_mode(node)
+            if mode is not None and any(
+                    char in mode for char in _WRITABLE_MODE_CHARS):
+                if ctx.enclosing_function(node) not in atomic:
+                    findings.append(_finding(
+                        ctx, "A301", node,
+                        f"open(..., {mode!r}) writes in place without "
+                        "the temp-file + os.replace pattern"))
+        elif dotted == "pickle.dump" and config.enabled("A302"):
+            if ctx.enclosing_function(node) not in atomic:
+                findings.append(_finding(
+                    ctx, "A302", node,
+                    "pickle.dump straight onto a final path; an "
+                    "interrupted write leaves a corrupt entry"))
+    return findings

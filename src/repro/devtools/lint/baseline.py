@@ -1,0 +1,126 @@
+"""The waiver file: checked-in, justified exceptions to the analyzer.
+
+``lint-baseline.toml`` holds an array of ``[[waiver]]`` tables::
+
+    [[waiver]]
+    rule = "D104"
+    path = "src/repro/faults/campaign.py"
+    scope = "run_campaign"
+    justification = "duration_seconds is documented timing provenance"
+
+A waiver suppresses every finding with the same rule id, repository
+path and (when given) enclosing scope.  The file is itself linted:
+waivers without a justification are findings (W002), and waivers that
+no longer match anything are findings too (W001) — a stale baseline
+must shrink, never silently accumulate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import tomllib
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .model import Finding, RULES
+
+
+class BaselineError(ValueError):
+    """The waiver file is malformed (not a lint finding: a hard error)."""
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Waiver:
+    """One intentional, justified exception."""
+
+    rule: str
+    path: str
+    justification: str
+    scope: Optional[str] = None
+    index: int = 0
+
+    def matches(self, finding: Finding) -> bool:
+        return (finding.rule == self.rule
+                and finding.path == self.path
+                and (self.scope is None or finding.scope == self.scope))
+
+    def describe(self) -> str:
+        where = self.path if self.scope is None \
+            else f"{self.path}::{self.scope}"
+        return f"{self.rule} at {where}"
+
+
+def load_baseline(path: Path) -> List[Waiver]:
+    try:
+        with open(path, "rb") as handle:
+            data = tomllib.load(handle)
+    except tomllib.TOMLDecodeError as error:
+        raise BaselineError(f"{path}: invalid TOML: {error}") from error
+    raw = data.get("waiver", [])
+    if not isinstance(raw, list):
+        raise BaselineError(f"{path}: 'waiver' must be an array of "
+                            "tables ([[waiver]])")
+    waivers: List[Waiver] = []
+    for index, entry in enumerate(raw, start=1):
+        if not isinstance(entry, dict):
+            raise BaselineError(f"{path}: waiver #{index} is not a table")
+        unknown = sorted(set(entry)
+                         - {"rule", "path", "scope", "justification"})
+        if unknown:
+            raise BaselineError(
+                f"{path}: waiver #{index} has unknown keys: "
+                f"{', '.join(unknown)}")
+        for key in ("rule", "path"):
+            if not isinstance(entry.get(key), str) or not entry[key]:
+                raise BaselineError(
+                    f"{path}: waiver #{index} needs a non-empty "
+                    f"{key!r} string")
+        if entry["rule"] not in RULES:
+            raise BaselineError(
+                f"{path}: waiver #{index} names unknown rule "
+                f"{entry['rule']!r}")
+        waivers.append(Waiver(
+            rule=entry["rule"], path=entry["path"],
+            scope=entry.get("scope"),
+            justification=str(entry.get("justification", "")),
+            index=index))
+    return waivers
+
+
+def apply_baseline(findings: Sequence[Finding],
+                   waivers: Sequence[Waiver],
+                   baseline_path: str,
+                   ) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into (unwaived, waived) and lint the waivers.
+
+    Waiver-hygiene findings (W001 unused, W002 unjustified) are
+    appended to the unwaived list: the baseline is part of the checked
+    surface.
+    """
+    used: Dict[int, int] = {}
+    unwaived: List[Finding] = []
+    waived: List[Finding] = []
+    for finding in findings:
+        match = next((waiver for waiver in waivers
+                      if waiver.matches(finding)), None)
+        if match is None:
+            unwaived.append(finding)
+        else:
+            used[match.index] = used.get(match.index, 0) + 1
+            waived.append(finding)
+    for waiver in waivers:
+        if not waiver.justification.strip():
+            unwaived.append(Finding(
+                rule="W002", path=baseline_path, line=0, col=0,
+                scope=f"waiver#{waiver.index}",
+                message=f"waiver for {waiver.describe()} has no "
+                        "justification",
+                hint=RULES["W002"].hint))
+        if waiver.index not in used:
+            unwaived.append(Finding(
+                rule="W001", path=baseline_path, line=0, col=0,
+                scope=f"waiver#{waiver.index}",
+                message=f"waiver for {waiver.describe()} matches no "
+                        "finding any more",
+                hint=RULES["W001"].hint))
+    return unwaived, waived

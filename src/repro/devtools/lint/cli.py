@@ -1,0 +1,88 @@
+"""Command line front end: ``python -m repro.devtools.lint src/``.
+
+Exit status 0 means the tree is clean modulo the checked-in baseline;
+1 means unwaived findings (or parse errors, or waiver-hygiene
+violations) exist.  The report goes to stdout — text for humans,
+``--format json`` for the CI regression gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .baseline import BaselineError
+from .model import LintConfig
+from .runner import render_json, render_rules, render_text, run_lint
+
+_DEFAULT_BASELINE = "lint-baseline.toml"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description="AST-based invariant analyzer: determinism, "
+                    "concurrency, atomicity, picklability.")
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyze (default: src)")
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help=f"waiver file (default: ./{_DEFAULT_BASELINE} if present)")
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any waiver file; report everything")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)")
+    parser.add_argument(
+        "--disable", action="append", default=[], metavar="RULE",
+        help="skip a rule id entirely (repeatable)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    arguments = build_parser().parse_args(argv)
+    if arguments.list_rules:
+        print(render_rules())
+        return 0
+
+    baseline: Optional[Path] = None
+    if not arguments.no_baseline:
+        baseline = arguments.baseline
+        if baseline is None:
+            candidate = Path(_DEFAULT_BASELINE)
+            if candidate.is_file():
+                baseline = candidate
+        elif not baseline.is_file():
+            print(f"error: baseline {baseline} does not exist",
+                  file=sys.stderr)
+            return 2
+
+    paths: List[Path] = [Path(path) for path in arguments.paths]
+    missing = [path for path in paths if not path.exists()]
+    if missing:
+        for path in missing:
+            print(f"error: no such path: {path}", file=sys.stderr)
+        return 2
+
+    config = LintConfig(disabled=tuple(arguments.disable))
+    try:
+        report = run_lint(paths, config=config, baseline=baseline)
+    except BaselineError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if arguments.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report))
+    return report.exit_code
+
+
+__all__ = ["build_parser", "main"]

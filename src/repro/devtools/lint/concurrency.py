@@ -1,0 +1,169 @@
+"""C-series checkers: concurrency invariants.
+
+The campaign service shares objects between an asyncio orchestrator, a
+daemon loop thread and worker callbacks.  PR 7 shipped (and fixed) the
+canonical bug of that topology: ``TierStats`` counters bumped with a
+bare ``+=`` — a read-modify-write that loses updates under threads.
+These rules flag that class of mutation statically:
+
+* **C201** — a class that owns a ``threading.Lock`` mutates its own
+  state outside any ``with <lock>:`` block (a partially-locked class).
+* **C203** — in the modules documented as service-shared, *any* class
+  mutates shared attributes without a lock (the original unlocked
+  ``TierStats`` shape, which C201 cannot see because the buggy class
+  owned no lock at all).
+* **C202** — blocking calls (``time.sleep``, ``fsync``, ``subprocess``)
+  inside ``async def``: the loop must sequence jobs, never wait.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Tuple
+
+from .context import ModuleContext
+from .model import Finding, LintConfig, RULES
+
+#: Constructors whose result guards shared state.
+_LOCK_TYPES = {
+    "threading.Lock", "threading.RLock", "threading.Condition",
+    "multiprocessing.Lock", "multiprocessing.RLock",
+}
+
+#: Method calls that mutate a container in place.
+_MUTATORS = {
+    "append", "extend", "add", "update", "insert", "remove", "discard",
+    "pop", "popitem", "clear", "setdefault", "appendleft",
+}
+
+#: Calls that block the thread they run on.
+_BLOCKING = {
+    "time.sleep", "os.fsync", "os.fdatasync", "os.system",
+    "subprocess.run", "subprocess.call", "subprocess.check_call",
+    "subprocess.check_output", "subprocess.Popen",
+    "urllib.request.urlopen", "socket.create_connection",
+}
+
+#: Methods where unlocked initialisation is fine: the object is not yet
+#: visible to other threads.
+_CONSTRUCTION_METHODS = {"__init__", "__post_init__", "__new__"}
+
+
+def _finding(ctx: ModuleContext, rule: str, node: ast.AST,
+             message: str) -> Finding:
+    return Finding(rule=rule, path=ctx.rel_path, line=node.lineno,
+                   col=node.col_offset, scope=ctx.qualname(node),
+                   message=message, hint=RULES[rule].hint)
+
+
+def _lock_attributes(ctx: ModuleContext,
+                     class_node: ast.ClassDef) -> Tuple[str, ...]:
+    """``self.X`` attributes assigned a Lock anywhere in the class."""
+    locks: List[str] = []
+    for node in ast.walk(class_node):
+        if not isinstance(node, ast.Assign) \
+                or not isinstance(node.value, ast.Call):
+            continue
+        if ctx.dotted(node.value.func) not in _LOCK_TYPES:
+            continue
+        for target in node.targets:
+            dotted = ctx.dotted(target)
+            if dotted is not None and dotted.startswith("self."):
+                locks.append(dotted)
+    return tuple(locks)
+
+
+def _enclosing_method(ctx: ModuleContext,
+                      node: ast.AST) -> Optional[str]:
+    function = ctx.enclosing_function(node)
+    if function is None:
+        return None
+    return function.name
+
+
+def _self_mutations(ctx: ModuleContext, class_node: ast.ClassDef
+                    ) -> List[Tuple[ast.AST, str, str]]:
+    """(node, mutated ``self.attr`` path, kind) mutations in the class.
+
+    Covers augmented assignment on ``self.attr`` / ``self.attr[...]``
+    and in-place mutator calls (``self.attr.append(...)``).  Plain
+    rebinding assignments are excluded: a single ``=`` of a fresh
+    object is atomic enough for the counter-corruption class these
+    rules target, and flagging it would bury the real races in noise.
+    """
+    mutations: List[Tuple[ast.AST, str, str]] = []
+    for node in ast.walk(class_node):
+        if isinstance(node, ast.AugAssign):
+            rooted = ctx.self_rooted(node.target)
+            if rooted is not None:
+                mutations.append((node, rooted, "augmented assignment"))
+        elif isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and node.func.attr in _MUTATORS:
+            rooted = ctx.self_rooted(node.func.value)
+            if rooted is not None:
+                mutations.append(
+                    (node, rooted, f".{node.func.attr}() call"))
+    return mutations
+
+
+def check_concurrency(ctx: ModuleContext,
+                      config: LintConfig) -> List[Finding]:
+    findings: List[Finding] = []
+    shared_module = config.is_shared_module(ctx.rel_path)
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ClassDef):
+            findings.extend(
+                _check_class(ctx, config, node, shared_module))
+        elif isinstance(node, ast.AsyncFunctionDef) \
+                and config.enabled("C202"):
+            findings.extend(_check_async(ctx, node))
+    return findings
+
+
+def _check_class(ctx: ModuleContext, config: LintConfig,
+                 class_node: ast.ClassDef,
+                 shared_module: bool) -> List[Finding]:
+    locks = _lock_attributes(ctx, class_node)
+    if locks:
+        rule = "C201"
+    elif shared_module:
+        rule = "C203"
+    else:
+        return []
+    if not config.enabled(rule):
+        return []
+    findings: List[Finding] = []
+    for node, target, kind in _self_mutations(ctx, class_node):
+        method = _enclosing_method(ctx, node)
+        if method in _CONSTRUCTION_METHODS:
+            continue
+        held = ctx.held_locks(node)
+        if locks and any(lock in held for lock in locks):
+            continue
+        if locks:
+            message = (f"{kind} on {target} outside "
+                       f"'with {locks[0]}:' in a lock-owning class")
+        else:
+            message = (f"{kind} on {target} without any lock in a "
+                       "service-shared module (the PR-7 TierStats "
+                       "lost-update shape)")
+        findings.append(_finding(ctx, rule, node, message))
+    return findings
+
+
+def _check_async(ctx: ModuleContext,
+                 async_def: ast.AsyncFunctionDef) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(async_def):
+        if not isinstance(node, ast.Call):
+            continue
+        if ctx.enclosing_function(node) is not async_def:
+            continue
+        dotted = ctx.dotted(node.func)
+        if dotted in _BLOCKING:
+            findings.append(_finding(
+                ctx, "C202", node,
+                f"{dotted}(...) blocks the event loop inside "
+                f"'async def {async_def.name}'"))
+    return findings

@@ -1,0 +1,167 @@
+"""Per-module AST context: parents, qualnames, import-alias resolution.
+
+The checkers are symbol-walking, not just token-matching: ``import time
+as _time; _time.sleep(...)`` must resolve to ``time.sleep``, and a
+mutation is only "locked" when an *ancestor* ``with`` statement holds
+one of the owning class's lock attributes.  This module centralizes
+that plumbing so each rule stays a readable tree walk.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+class ModuleContext:
+    """One parsed module plus the lookup tables the checkers need."""
+
+    def __init__(self, path: Path, rel_path: str, source: str) -> None:
+        self.path = path
+        #: repository-relative posix path (the identity findings carry)
+        self.rel_path = rel_path
+        self.source = source
+        self.tree = ast.parse(source, filename=rel_path)
+        self.parents: Dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(node):
+                self.parents[child] = node
+        self.aliases = self._collect_aliases()
+
+    # ------------------------------------------------------------------
+    # Imports
+    # ------------------------------------------------------------------
+    def _collect_aliases(self) -> Dict[str, str]:
+        """Name -> dotted path for every import binding in the module.
+
+        ``import time as _time`` maps ``_time -> time``; ``from datetime
+        import datetime`` maps ``datetime -> datetime.datetime``; dotted
+        ``import urllib.request`` binds the root (``urllib -> urllib``)
+        and attribute resolution walks the rest naturally.
+        """
+        aliases: Dict[str, str] = {}
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for name in node.names:
+                    if name.asname is not None:
+                        aliases[name.asname] = name.name
+                    else:
+                        root = name.name.split(".")[0]
+                        aliases[root] = root
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                prefix = "." * node.level + module
+                for name in node.names:
+                    if name.name == "*":
+                        continue
+                    bound = name.asname or name.name
+                    aliases[bound] = (f"{prefix}.{name.name}"
+                                      if prefix else name.name)
+        return aliases
+
+    def dotted(self, node: ast.AST) -> Optional[str]:
+        """The alias-resolved dotted path of a Name/Attribute chain.
+
+        Unresolvable bases (calls, subscripts) return ``None``; a plain
+        local name resolves to itself, so ``self.root.glob`` comes back
+        as ``"self.root.glob"`` for suffix-matching rules.
+        """
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self.aliases.get(node.id, node.id)
+        return ".".join([base] + list(reversed(parts)))
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = self.parents.get(node)
+        while current is not None:
+            yield current
+            current = self.parents.get(current)
+
+    def qualname(self, node: ast.AST) -> str:
+        """Dotted name of the enclosing defs (``"<module>"`` at top)."""
+        names: List[str] = []
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.ClassDef)):
+                names.append(ancestor.name)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            names.insert(0, node.name)
+        return ".".join(reversed(names)) if names else "<module>"
+
+    def enclosing_function(self, node: ast.AST
+                           ) -> Optional[ast.AST]:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+    def consuming_call(self, node: ast.AST) -> Optional[str]:
+        """Dotted name of the call that consumes *node*'s result, if any.
+
+        Transparent wrappers are crossed: in ``sorted(p.glob(x))``,
+        ``sorted(f(p) for p in root.iterdir())`` and
+        ``frozenset(d for d in (f(n) for n in nets))`` the innermost
+        iteration resolves to ``"sorted"`` / ``"frozenset"``.
+        """
+        child: ast.AST = node
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, ast.Call):
+                if child in ancestor.args:
+                    return self.dotted(ancestor.func)
+                return None
+            if isinstance(ancestor, ast.comprehension):
+                if child is not ancestor.iter:
+                    return None
+                continue
+            if isinstance(ancestor, (ast.Starred, ast.GeneratorExp,
+                                     ast.ListComp)):
+                child = ancestor
+                continue
+            return None
+        return None
+
+    def inside_sorted(self, node: ast.AST) -> bool:
+        """Whether *node*'s result is consumed by a ``sorted(...)`` call."""
+        return self.consuming_call(node) == "sorted"
+
+    def held_locks(self, node: ast.AST) -> Tuple[str, ...]:
+        """Lock expressions held by ``with`` statements enclosing *node*.
+
+        Returns dotted paths of every context manager in scope, e.g.
+        ``("self._lock",)`` — the concurrency rules intersect these with
+        the owning class's known lock attributes.
+        """
+        held: List[str] = []
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.With, ast.AsyncWith)):
+                for item in ancestor.items:
+                    name = self.dotted(item.context_expr)
+                    if name is not None:
+                        held.append(name)
+        return tuple(held)
+
+    def self_rooted(self, node: ast.AST) -> Optional[str]:
+        """Dotted path when the expression chains off ``self``, else None.
+
+        Subscripts are transparent: ``self.stats["hits"]`` roots at
+        ``self.stats``.
+        """
+        while isinstance(node, (ast.Subscript, ast.Attribute)):
+            if isinstance(node, ast.Subscript):
+                node = node.value
+                continue
+            dotted = self.dotted(node)
+            if dotted is not None and dotted.startswith("self."):
+                return dotted
+            node = node.value
+        return None

@@ -1,0 +1,194 @@
+"""D-series checkers: determinism invariants.
+
+Everything a campaign emits — fingerprints, stable reports, shard
+schedules, pickled artefacts — must be bit-identical across processes,
+platforms and ``PYTHONHASHSEED``.  These rules flag the classic ways
+that promise silently erodes: filesystem enumeration order, set
+iteration order, salted ``hash()``, wall-clock reads and the global
+random stream.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from .context import ModuleContext
+from .model import Finding, LintConfig, RULES
+
+#: Calls whose result order is filesystem-dependent.
+_FS_CALLS = {"os.listdir", "os.scandir", "glob.glob", "glob.iglob"}
+#: Method names with the same property on Path-like objects.
+_FS_METHODS = {"glob", "rglob", "iterdir"}
+
+#: Wall-clock reads (time.monotonic/perf_counter are deliberately fine:
+#: they measure intervals, never label results).
+_WALLCLOCK = {
+    "time.time", "time.time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+}
+
+#: Module-global random draws (random.Random(seed) is the sanctioned
+#: escape hatch; repro.faults.seeds.substream the preferred one).
+_GLOBAL_RANDOM = {
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "seed", "getrandbits", "gauss", "betavariate",
+    "expovariate", "normalvariate",
+}
+
+#: Ordered-sequence constructors (D102 sinks).
+_ORDERED_SINKS = {"list", "tuple", "enumerate"}
+
+#: Consumers whose result does not depend on iteration order.  ``sum``
+#: is deliberately absent: float addition is not associative, so a sum
+#: over a set is hash-order-dependent in the low bits — integer sums
+#: must be waived with a justification saying so.
+_ORDER_FREE_SINKS = {
+    "sorted", "set", "frozenset", "min", "max", "any", "all", "len",
+}
+
+
+def _finding(ctx: ModuleContext, rule: str, node: ast.AST,
+             message: str) -> Finding:
+    return Finding(rule=rule, path=ctx.rel_path, line=node.lineno,
+                   col=node.col_offset, scope=ctx.qualname(node),
+                   message=message, hint=RULES[rule].hint)
+
+
+def _is_set_expr(ctx: ModuleContext, node: ast.AST,
+                 set_names: Set[str] = frozenset()) -> bool:
+    """Structurally a set/frozenset value (unordered iteration)."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.Call):
+        dotted = ctx.dotted(node.func)
+        return dotted in ("set", "frozenset")
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+        return (_is_set_expr(ctx, node.left, set_names)
+                or _is_set_expr(ctx, node.right, set_names))
+    return False
+
+
+def _set_bound_names(ctx: ModuleContext) -> Set[str]:
+    """Names that are *only ever* assigned set expressions.
+
+    Deliberately conservative single-pass dataflow: a name that is also
+    bound to anything non-set anywhere in the module (including loop
+    targets, parameters stay unknown) drops out, so a false positive
+    requires the name to genuinely always hold a set.
+    """
+    bound: Set[str] = set()
+    tainted: Set[str] = set()
+    for node in ast.walk(ctx.tree):
+        targets: List[ast.expr] = []
+        value = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            targets, value = [node.target], None
+        elif isinstance(node, ast.AugAssign):
+            targets, value = [node.target], None
+        for target in targets:
+            for name_node in ast.walk(target):
+                if not isinstance(name_node, ast.Name):
+                    continue
+                if value is not None and target is name_node \
+                        and _is_set_expr(ctx, value):
+                    bound.add(name_node.id)
+                else:
+                    tainted.add(name_node.id)
+    return bound - tainted
+
+
+def _loop_produces_sequence(loop: ast.For) -> bool:
+    """The loop body appends/extends/yields — it builds ordered output."""
+    for node in ast.walk(loop):
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+        if isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and node.func.attr in ("append", "extend"):
+            return True
+    return False
+
+
+def check_determinism(ctx: ModuleContext,
+                      config: LintConfig) -> List[Finding]:
+    findings: List[Finding] = []
+    set_names = _set_bound_names(ctx)
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call):
+            findings.extend(_check_call(ctx, config, node, set_names))
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp)) \
+                and config.enabled("D102"):
+            iterand = node.generators[0].iter
+            if _is_set_expr(ctx, iterand, set_names) \
+                    and ctx.consuming_call(node) not in _ORDER_FREE_SINKS \
+                    and not ctx.inside_sorted(iterand):
+                findings.append(_finding(
+                    ctx, "D102", node,
+                    "comprehension iterates a set into an ordered "
+                    "sequence; the element order is hash-seed dependent"))
+        elif isinstance(node, ast.For) and config.enabled("D102"):
+            if _is_set_expr(ctx, node.iter, set_names) \
+                    and not ctx.inside_sorted(node.iter) \
+                    and _loop_produces_sequence(node):
+                findings.append(_finding(
+                    ctx, "D102", node,
+                    "loop iterates a set while building an ordered "
+                    "sequence; the element order is hash-seed dependent"))
+    return findings
+
+
+def _check_call(ctx: ModuleContext, config: LintConfig, node: ast.Call,
+                set_names: Set[str] = frozenset()) -> List[Finding]:
+    findings: List[Finding] = []
+    dotted = ctx.dotted(node.func)
+    if dotted is None:
+        return findings
+
+    if config.enabled("D101"):
+        is_fs = dotted in _FS_CALLS or (
+            "." in dotted and dotted.rsplit(".", 1)[1] in _FS_METHODS
+            and dotted not in ("glob.glob",))
+        if is_fs and not ctx.inside_sorted(node):
+            findings.append(_finding(
+                ctx, "D101", node,
+                f"{dotted}(...) yields filesystem order; wrap in "
+                "sorted(...) before the result can flow anywhere "
+                "order-sensitive"))
+
+    if config.enabled("D102") and dotted in _ORDERED_SINKS and node.args:
+        if _is_set_expr(ctx, node.args[0], set_names):
+            findings.append(_finding(
+                ctx, "D102", node,
+                f"{dotted}() over a set bakes hash-seed-dependent "
+                "order into an ordered sequence"))
+
+    if config.enabled("D103") and dotted == "hash":
+        findings.append(_finding(
+            ctx, "D103", node,
+            "builtin hash() is salted per process under "
+            "PYTHONHASHSEED; results derived from it are not "
+            "reproducible"))
+
+    if config.enabled("D104") and dotted in _WALLCLOCK:
+        findings.append(_finding(
+            ctx, "D104", node,
+            f"{dotted}() reads the wall clock in a result-producing "
+            "module"))
+
+    if config.enabled("D105") and "." in dotted:
+        root, leaf = dotted.split(".", 1)
+        if root == "random" and leaf in _GLOBAL_RANDOM:
+            findings.append(_finding(
+                ctx, "D105", node,
+                f"random.{leaf}() draws from the module-global stream; "
+                "use the documented substream contract"))
+    return findings

@@ -1,0 +1,142 @@
+"""Drive the checkers over a file tree and render findings.
+
+The runner is itself held to the invariants it checks: files are
+enumerated in sorted order, findings are sorted by a total key, and the
+JSON report is deterministic byte-for-byte for a given tree.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence
+
+from .api import check_api
+from .atomicity import check_atomicity
+from .baseline import Waiver, apply_baseline, load_baseline
+from .concurrency import check_concurrency
+from .context import ModuleContext
+from .determinism import check_determinism
+from .model import Finding, LintConfig, RULES
+
+_CHECKERS = (check_determinism, check_concurrency,
+             check_atomicity, check_api)
+
+#: Directories never worth walking into.
+_SKIP_DIRS = {"__pycache__", ".git", ".bench-out", ".pytest_cache"}
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class LintReport:
+    """Everything one run produced, pre-baseline and post-baseline."""
+
+    findings: tuple  # unwaived Finding objects, sorted
+    waived: tuple    # Finding objects suppressed by the baseline
+    errors: tuple    # (path, message) for files that failed to parse
+    files_checked: int
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if (self.findings or self.errors) else 0
+
+    def as_dict(self) -> dict:
+        return {
+            "files_checked": self.files_checked,
+            "findings": [finding.as_dict() for finding in self.findings],
+            "waived": [finding.as_dict() for finding in self.waived],
+            "errors": [{"path": path, "message": message}
+                       for path, message in self.errors],
+        }
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            if not _SKIP_DIRS.intersection(candidate.parts):
+                yield candidate
+
+
+def _rel_path(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_file(path: Path, rel_path: str,
+              config: LintConfig) -> List[Finding]:
+    source = path.read_text(encoding="utf-8")
+    ctx = ModuleContext(path=path, rel_path=rel_path, source=source)
+    findings: List[Finding] = []
+    for checker in _CHECKERS:
+        findings.extend(checker(ctx, config))
+    return findings
+
+
+def run_lint(paths: Sequence[Path],
+             config: Optional[LintConfig] = None,
+             baseline: Optional[Path] = None,
+             root: Optional[Path] = None) -> LintReport:
+    config = config or LintConfig()
+    root = root or Path.cwd()
+    findings: List[Finding] = []
+    errors: List[tuple] = []
+    files_checked = 0
+    for path in iter_python_files(paths):
+        rel = _rel_path(path, root)
+        files_checked += 1
+        try:
+            findings.extend(lint_file(path, rel, config))
+        except SyntaxError as error:
+            errors.append((rel, f"syntax error: {error.msg} "
+                           f"(line {error.lineno})"))
+    waivers: List[Waiver] = []
+    if baseline is not None and baseline.is_file():
+        waivers = load_baseline(baseline)
+    unwaived, waived = apply_baseline(
+        findings, waivers, _rel_path(baseline, root)
+        if baseline is not None else "lint-baseline.toml")
+    unwaived.sort(key=Finding.sort_key)
+    waived.sort(key=Finding.sort_key)
+    return LintReport(findings=tuple(unwaived), waived=tuple(waived),
+                      errors=tuple(sorted(errors)),
+                      files_checked=files_checked)
+
+
+def render_text(report: LintReport) -> str:
+    lines: List[str] = []
+    for path, message in report.errors:
+        lines.append(f"{path}: ERROR: {message}")
+    for finding in report.findings:
+        lines.append(f"{finding.path}:{finding.line}:{finding.col}: "
+                     f"{finding.rule} [{finding.scope}] "
+                     f"{finding.message}")
+        lines.append(f"    hint: {finding.hint}")
+    summary = (f"{len(report.findings)} finding(s), "
+               f"{len(report.waived)} waived, "
+               f"{len(report.errors)} error(s) in "
+               f"{report.files_checked} file(s)")
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    return json.dumps(report.as_dict(), indent=2, sort_keys=True)
+
+
+def render_rules() -> str:
+    lines: List[str] = []
+    for rule_id in sorted(RULES):
+        rule = RULES[rule_id]
+        lines.append(f"{rule_id}  {rule.title}")
+        lines.append(f"    {rule.rationale}")
+    return "\n".join(lines)
+
+
+__all__ = ["LintReport", "iter_python_files", "lint_file", "run_lint",
+           "render_text", "render_json", "render_rules"]

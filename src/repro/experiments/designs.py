@@ -12,7 +12,7 @@ implementations.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..core import (AllComponents, ByComponentType, NoPartition, TMRConfig,
                     TMRResult, apply_tmr)

@@ -19,7 +19,7 @@ quick visual of the partition structure.
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from ..cells import logic
 from ..core import (NUM_DOMAINS, build_voted_register, check_domain_isolation,
@@ -30,7 +30,7 @@ from ..netlist import Netlist, flatten
 from ..pnr import Implementation
 from ..sim import CompiledDesign, Simulator
 from .cli import experiment_parser
-from .designs import DesignSuite, build_design_suite, tmr_configs
+from .designs import DesignSuite, build_design_suite
 
 
 def figure1_summary(suite: DesignSuite) -> Dict[str, object]:

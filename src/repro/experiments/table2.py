@@ -18,7 +18,6 @@ from .cli import experiment_parser
 from .designs import DESIGN_ORDER, DesignSuite
 
 # Re-exported for backward compatibility (historically defined here).
-from .cli import add_flow_arguments  # noqa: F401
 
 
 def run_table2(suite: Optional[DesignSuite] = None,

@@ -24,7 +24,6 @@ from .cli import experiment_parser
 from .designs import DESIGN_ORDER, PAPER_TABLE3_PERCENT, DesignSuite
 
 # Re-exported for backward compatibility (historically defined here).
-from .cli import add_flow_arguments  # noqa: F401
 
 
 def campaign_config_for(suite: DesignSuite,

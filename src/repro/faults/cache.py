@@ -27,9 +27,10 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import threading
 import weakref
 from collections import OrderedDict
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
 
 from ..pnr.flow import Implementation
 from ..sim.bitparallel import VectorProgram, compile_vector_program
@@ -109,6 +110,11 @@ class CampaignCacheEntry:
         #: kept weak so a cached entry does not pin a heavyweight
         #: implementation alive on its own
         self._implementation = weakref.ref(implementation)
+        #: guards the *structural* mutations (LRU eviction, the
+        #: adoption flush) — entries are shared between the service's
+        #: asyncio.to_thread workers.  Memo inserts stay unlocked: a
+        #: lost race there only recomputes, never corrupts.
+        self._lock = threading.Lock()
         self._compiled: Optional[CompiledDesign] = None
         self._vector_program: Optional[VectorProgram] = None
         self._numpy_program = None
@@ -133,14 +139,15 @@ class CampaignCacheEntry:
             # dropped — the caller may have compiled a variant netlist, and
             # mixing gate/net numberings would corrupt results silently.
             if self._compiled is not compiled:
-                if self._compiled is not None:
-                    self._golden.clear()
-                    self._cones.clear()
-                    self._effects.clear()
-                    self._defeat_maps.clear()
-                    self._vector_program = None
-                    self._numpy_program = None
-                self._compiled = compiled
+                with self._lock:
+                    if self._compiled is not None:
+                        self._golden.clear()
+                        self._cones.clear()
+                        self._effects.clear()
+                        self._defeat_maps.clear()
+                        self._vector_program = None
+                        self._numpy_program = None
+                    self._compiled = compiled
             return compiled
         if self._compiled is None:
             implementation = self._implementation()
@@ -217,31 +224,37 @@ class CampaignCacheEntry:
                stimulus: Sequence[Dict[str, int]], stats: CacheStats
                ) -> Tuple[SimulationTrace, object]:
         key = stimulus_key(stimulus)
-        if key not in self._golden:
-            # An in-memory miss (counted as such either way) may still be
-            # served by the persistent tier, when one is active: traces
-            # and gate programs are pure data keyed by the implementation
-            # fingerprint, so an entry written by any earlier process is
-            # exactly what this simulation would produce.
-            stats.golden_misses += 1
-            from ..service.tier import active_tier
+        with self._lock:
+            cached = self._golden.get(key)
+            if cached is not None:
+                stats.golden_hits += 1
+                self._golden.move_to_end(key)
+                return cached
+        # An in-memory miss (counted as such either way) may still be
+        # served by the persistent tier, when one is active: traces
+        # and gate programs are pure data keyed by the implementation
+        # fingerprint, so an entry written by any earlier process is
+        # exactly what this simulation would produce.  The compute runs
+        # outside the lock — two workers racing the same stimulus
+        # duplicate work, never corrupt the LRU.
+        stats.golden_misses += 1
+        from ..service.tier import active_tier
 
-            tier = active_tier()
-            pair = tier.load_golden(self.fingerprint, key) \
-                if tier is not None else None
-            if pair is None:
-                simulator = Simulator(compiled)
-                pair = (simulator.run(list(stimulus), record_nets=True),
-                        simulator.program)
-                if tier is not None:
-                    tier.store_golden(self.fingerprint, key, *pair)
+        tier = active_tier()
+        pair = tier.load_golden(self.fingerprint, key) \
+            if tier is not None else None
+        if pair is None:
+            simulator = Simulator(compiled)
+            pair = (simulator.run(list(stimulus), record_nets=True),
+                    simulator.program)
+            if tier is not None:
+                tier.store_golden(self.fingerprint, key, *pair)
+        with self._lock:
             self._golden[key] = pair
+            self._golden.move_to_end(key)
             while len(self._golden) > MAX_GOLDEN_PER_ENTRY:
                 self._golden.popitem(last=False)
-        else:
-            stats.golden_hits += 1
-        self._golden.move_to_end(key)
-        return self._golden[key]
+        return pair
 
     def effect_of_bit(self, bit: int, modeler,
                       stats: CacheStats) -> "FaultEffect":
@@ -293,6 +306,9 @@ class CampaignCache:
         self.max_entries = max_entries
         self.stats = CacheStats()
         self._entries: "OrderedDict[str, CampaignCacheEntry]" = OrderedDict()
+        #: the process-wide instance is shared between the service's
+        #: worker threads; every structural _entries mutation holds this
+        self._lock = threading.Lock()
 
     @staticmethod
     def fingerprint_of(implementation: Implementation) -> str:
@@ -304,18 +320,27 @@ class CampaignCache:
 
     def entry_for(self, implementation: Implementation) -> CampaignCacheEntry:
         fingerprint = self.fingerprint_of(implementation)
-        entry = self._entries.get(fingerprint)
-        if entry is None or entry._implementation() is None:
-            entry = CampaignCacheEntry(fingerprint, implementation)
-            self._entries[fingerprint] = entry
-        self._entries.move_to_end(fingerprint)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None or entry._implementation() is None:
+                entry = CampaignCacheEntry(fingerprint, implementation)
+                self._entries[fingerprint] = entry
+            self._entries.move_to_end(fingerprint)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
         return entry
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.stats = CacheStats()
+        with self._lock:
+            self._entries.clear()
+            self.stats = CacheStats()
+
+    def resize(self, max_entries: int) -> None:
+        """Change the bound, evicting immediately if it shrank."""
+        with self._lock:
+            self.max_entries = max_entries
+            while len(self._entries) > max_entries:
+                self._entries.popitem(last=False)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -342,6 +367,4 @@ def cache_stats() -> Dict[str, int]:
 
 def configure_cache(max_entries: int) -> None:
     """Resize the process-wide cache (evicts immediately if shrinking)."""
-    _GLOBAL_CACHE.max_entries = max_entries
-    while len(_GLOBAL_CACHE._entries) > max_entries:
-        _GLOBAL_CACHE._entries.popitem(last=False)
+    _GLOBAL_CACHE.resize(max_entries)

@@ -78,7 +78,7 @@ class BackendUnavailableError(RuntimeError):
     """
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class FaultTask:
     """One unit of campaign work: an injection and its modelled effect.
 
@@ -220,7 +220,7 @@ class CampaignContext:
         return self._golden
 
     @property
-    def base_program(self):
+    def base_program(self) -> object:
         """The overlay-free gate program shared by every faulty run."""
         self._ensure_golden()
         return self._base_program

@@ -25,10 +25,10 @@ from __future__ import annotations
 
 import dataclasses
 import random
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from ..fpga.config import LUT_BITS, lut_bit, slice_cfg
-from ..fpga.device import LUT_SLOTS, SLICE_INPUT_PINS
+from ..fpga.device import SLICE_INPUT_PINS
 from ..fpga.routing import Node, Pip, ipin
 from ..pnr.flow import Implementation
 from .seeds import substream

@@ -19,7 +19,7 @@ from ..sim.simulator import SimulationTrace
 from .models import FaultEffect
 
 
-@dataclasses.dataclass(slots=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class FaultResult:
     """Outcome of injecting one configuration upset."""
 

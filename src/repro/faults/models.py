@@ -37,17 +37,13 @@ independent pass-transistor-style bits in our fabric model):
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Tuple
 
-from ..cells.library import FF_CELLS, LUT_CELLS
 from ..fpga.bitgen import UsedResources
-from ..fpga.config import (KIND_LUT_BIT, KIND_PIP, KIND_SLICE_CFG,
-                           ConfigLayout, Resource)
-from ..fpga.device import (FF_PAIRED_LUT, FF_SLOTS, LUT_OUTPUT_PIN, LUT_SLOTS,
-                           Device)
-from ..fpga.routing import Node, Pip
+from ..fpga.config import KIND_LUT_BIT, KIND_SLICE_CFG, ConfigLayout, Resource
+from ..fpga.device import FF_PAIRED_LUT, Device
+from ..fpga.routing import Pip
 from ..pnr.flow import Implementation
-from ..pnr.route import RouteTree, SinkSpec
+from ..pnr.route import SinkSpec
 from ..sim.compile import CompiledDesign
 from ..sim.overlay import (BLEND_AND_NOT, BLEND_SHORT, FaultOverlay,
                            SourceOverride)

@@ -10,14 +10,14 @@ the design, and which design cell or net each of them belongs to.
 from __future__ import annotations
 
 import dataclasses
-from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..cells.evaluate import lut_init_of
-from ..cells.library import FF_CELLS, LUT_CELLS, lut_input_count
+from ..cells.library import lut_input_count
 from ..netlist.ir import Definition
-from .config import (LUT_BITS, SLICE_CFG_BITS, BitstreamStats, ConfigLayout,
-                     ConfigMemory, lut_bit, pip_resource, slice_cfg)
-from .device import FF_PAIRED_LUT, FF_SLOTS, LUT_SLOTS, Device
+from .config import (LUT_BITS, BitstreamStats, ConfigLayout, ConfigMemory,
+                     lut_bit, pip_resource, slice_cfg)
+from .device import FF_SLOTS, LUT_SLOTS, Device
 from .routing import Node, Pip
 
 if TYPE_CHECKING:  # imported for type annotations only (avoids a cycle)

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import bisect
 import dataclasses
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from .device import DIRECTIONS as DIRECTIONS_DELTA
 from .device import LUT_SLOTS, Device

@@ -17,7 +17,7 @@ the array do not exist.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 #: Routing directions and their coordinate deltas.
 DIRECTIONS: Dict[str, Tuple[int, int]] = {

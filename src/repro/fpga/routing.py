@@ -30,10 +30,9 @@ depending on whether its two ends are used (see
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from .device import (DIRECTIONS, FF_DATA_PIN, LUT_OUTPUT_PIN, OPPOSITE,
-                     SLICE_INPUT_PINS, SLICE_OUTPUT_PINS, Device)
+from .device import (DIRECTIONS, OPPOSITE, SLICE_INPUT_PINS, SLICE_OUTPUT_PINS, Device)
 
 Node = Tuple
 Pip = Tuple[Node, Node]

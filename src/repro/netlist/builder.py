@@ -7,7 +7,7 @@ keyword, tying constants and stitching sub-modules together.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from .ir import (Definition, Direction, Instance, Library, Net, Netlist,
                  NetlistError)

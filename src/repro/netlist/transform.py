@@ -4,8 +4,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Set
 
-from .ir import (Definition, Direction, Instance, InstancePin, Library, Net,
-                 Netlist, NetlistError, TopPin)
+from .ir import (Definition, InstancePin, Library, Net, Netlist, NetlistError, TopPin)
 
 #: Separator used when composing hierarchical names during flattening.
 HIER_SEP = "/"

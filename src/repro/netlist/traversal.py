@@ -11,9 +11,9 @@ formed designs.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Set
 
-from .ir import Definition, Instance, InstancePin, Net, NetlistError, TopPin
+from .ir import Definition, Instance, InstancePin, Net, NetlistError
 
 # Cell types treated as sequential state elements by default.
 SEQUENTIAL_CELLS = frozenset({"FD", "FDR", "FDC", "FDRE", "FDCE", "FDPE", "FDSE"})

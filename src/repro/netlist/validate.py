@@ -11,8 +11,7 @@ import dataclasses
 from typing import List, Optional
 
 from .ir import Definition, Direction, Netlist
-from .traversal import (SEQUENTIAL_CELLS, floating_nets, multiply_driven_nets,
-                        topological_levels, undriven_nets)
+from .traversal import (floating_nets, multiply_driven_nets, topological_levels, undriven_nets)
 from .ir import NetlistError
 
 

@@ -10,10 +10,9 @@ not to parse arbitrary third party Verilog.
 from __future__ import annotations
 
 import re
-from typing import Dict, Iterable, List, Optional, TextIO, Tuple
+from typing import Dict, List, Optional, TextIO, Tuple
 
-from .ir import (Definition, Direction, Instance, InstancePin, Library, Net,
-                 Netlist, NetlistError, TopPin)
+from .ir import Definition, Direction, Library, Net, Netlist, NetlistError
 
 _ID_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_$]*$")
 

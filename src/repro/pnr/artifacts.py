@@ -256,7 +256,7 @@ class FlowArtifactStore:
             pass
 
     def clear(self) -> None:
-        for path in self.root.glob("*/*.pkl"):
+        for path in sorted(self.root.glob("*/*.pkl")):
             try:
                 path.unlink()
             except OSError:

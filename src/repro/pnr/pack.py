@@ -16,7 +16,7 @@ situation the paper evaluates.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..cells.library import FF_CELLS, LUT_CELLS
 from ..netlist.ir import Definition, Instance, InstancePin, NetlistError

@@ -17,9 +17,9 @@ import random
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..netlist.ir import Definition, Direction, InstancePin
+from ..netlist.ir import Definition, InstancePin
 from ..fpga.device import Device
-from .pack import PackResult, VIRTUAL_CELLS
+from .pack import PackResult
 
 logger = logging.getLogger(__name__)
 

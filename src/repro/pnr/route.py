@@ -20,9 +20,9 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from ..cells.library import FF_CELLS, LUT_CELLS
 from ..fpga.device import (FF_DATA_PIN, FF_OUTPUT_PIN, FF_PAIRED_LUT,
                            LUT_INPUT_PIN, LUT_OUTPUT_PIN, Device)
-from ..fpga.routing import Node, Pip, RoutingGraph, node_tile, pad_input, \
-    pad_output, ipin, opin, routing_graph
-from ..netlist.ir import Definition, Instance, InstancePin, Net, TopPin
+from ..fpga.routing import (Node, Pip, RoutingGraph, pad_input, pad_output,
+                            ipin, opin, routing_graph)
+from ..netlist.ir import Definition, InstancePin, Net, TopPin
 from .pack import PackResult, VIRTUAL_CELLS
 from .place import Placement
 

@@ -12,12 +12,12 @@ the voter barriers each TMR partition inserts into the datapath.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..cells.library import FF_CELLS, LUT_CELLS
-from ..netlist.ir import Definition, InstancePin, TopPin
+from ..netlist.ir import Definition, InstancePin
 from ..netlist.traversal import topological_levels
-from .pack import PackResult, VIRTUAL_CELLS
+from .pack import VIRTUAL_CELLS
 from .place import Placement
 
 #: LUT propagation delay (ns).

@@ -9,7 +9,7 @@ state-machine examples used by the documentation and the extra experiments.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 from ..cells.library import shared_cell_library
 from ..netlist.builder import NetlistBuilder

@@ -26,7 +26,7 @@ import hashlib
 import itertools
 import threading
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..scenarios import Scenario, scenario_by_name
 

@@ -147,7 +147,10 @@ class CampaignService:
         if self.journal is None:
             return
         replay = self.journal.replay()
-        self.last_recovery = {
+        # Accumulate locally and publish with one assignment at the end:
+        # incrementing through self.last_recovery would be an unlocked
+        # read-modify-write racing any stats() reader (lint C201).
+        recovery: Dict[str, object] = {
             "recovered_jobs": 0,
             "clean_shutdown": replay.clean_shutdown,
             "replayed": replay.replayed,
@@ -166,11 +169,12 @@ class CampaignService:
                 # A spec this incarnation cannot parse (foreign field,
                 # retired scenario) is dropped, not fatal: recovery must
                 # never prevent the service from starting.
-                self.last_recovery["invalid_specs"] += 1
+                recovery["invalid_specs"] += 1
                 continue
             if not coalesced:
                 job.recovered = True
-                self.last_recovery["recovered_jobs"] += 1
+                recovery["recovered_jobs"] += 1
+        self.last_recovery = recovery
 
     def stop(self, timeout: Optional[float] = 30.0) -> None:
         """Drain running jobs, journal a clean shutdown, stop the loop.

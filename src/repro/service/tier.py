@@ -47,7 +47,7 @@ import pickle
 import tempfile
 import threading
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ..pnr.artifacts import FlowArtifactStore
 from . import chaos
@@ -238,7 +238,7 @@ class SharedCacheTier:
         computation, never a corrupt entry.
         """
         removed = 0
-        for path in self.root.glob("**/*.tmp"):
+        for path in sorted(self.root.glob("**/*.tmp")):
             try:
                 path.unlink()
             except OSError:

@@ -11,7 +11,7 @@ signal reaching the output pads.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..cells import logic
 from .simulator import SimulationTrace

@@ -20,7 +20,7 @@ Supported effects:
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..cells import logic
 

@@ -20,12 +20,11 @@ Two execution modes exist:
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..cells import logic
-from .compile import (KIND_BUF, KIND_CONST0, KIND_CONST1, KIND_LUT,
-                      CompiledDesign, FaultCone)
-from .overlay import FaultOverlay, SourceOverride
+from .compile import KIND_BUF, KIND_CONST0, KIND_LUT, CompiledDesign, FaultCone
+from .overlay import FaultOverlay
 
 
 @dataclasses.dataclass

@@ -14,7 +14,7 @@ from typing import List, Optional, Sequence, Tuple
 from ..cells import lut as lut_inits
 from ..cells.library import lut_cell_for_inputs
 from ..netlist.builder import NetlistBuilder
-from ..netlist.ir import Definition, Instance, Net, NetlistError
+from ..netlist.ir import Net, NetlistError
 
 
 class GateBuilder:
